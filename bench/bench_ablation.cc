@@ -1,0 +1,77 @@
+// Ablation study backing the §6 "Effectiveness of optimization" numbers:
+// each §4.2 / §5.2 optimization toggled independently on the synthetic
+// workload, so the contribution of pairing (smaller L + neighbors),
+// entity dependency, incremental checking, bounded messages (k), and
+// prioritized propagation can be read off individually.
+
+#include "bench_util.h"
+
+namespace gkeys {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  Algorithm base;
+  void (*tweak)(EmOptions&);
+};
+
+void RegisterAll() {
+  auto data = std::make_shared<SyntheticDataset>(
+      MakeDataset(Dataset::kSynthetic, /*scale=*/1.0, /*c=*/3, /*d=*/2));
+
+  static const Variant kVariants[] = {
+      {"MR/base", Algorithm::kEmMr, [](EmOptions&) {}},
+      {"MR/vf2", Algorithm::kEmMr,
+       [](EmOptions& o) { o.use_vf2 = true; }},
+      {"MR/pairing", Algorithm::kEmMr,
+       [](EmOptions& o) { o.use_pairing = true; }},
+      {"MR/dependency", Algorithm::kEmMr,
+       [](EmOptions& o) { o.use_dependency = true; }},
+      {"MR/incremental", Algorithm::kEmMr,
+       [](EmOptions& o) { o.use_incremental = true; }},
+      {"MR/all_opts", Algorithm::kEmOptMr, [](EmOptions&) {}},
+      {"VC/base", Algorithm::kEmVc, [](EmOptions&) {}},
+      {"VC/bounded_k4", Algorithm::kEmVc,
+       [](EmOptions& o) { o.bounded_messages = 4; }},
+      {"VC/prioritized", Algorithm::kEmVc,
+       [](EmOptions& o) { o.prioritized = true; }},
+      {"VC/all_opts", Algorithm::kEmOptVc, [](EmOptions&) {}},
+  };
+
+  for (const Variant& v : kVariants) {
+    std::string name = std::string("Ablation/") + v.name;
+    Algorithm base = v.base;
+    auto tweak = v.tweak;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [data, base, tweak](benchmark::State& state) {
+          EmOptions opts = EmOptions::For(base, /*p=*/4);
+          tweak(opts);
+          MatchResult r;
+          for (auto _ : state) {
+            r = MatchEntities(data->graph, data->keys, base, opts);
+            benchmark::DoNotOptimize(r.pairs.size());
+          }
+          if (r.pairs != data->planted) {
+            state.SkipWithError("ablation variant changed the result");
+            return;
+          }
+          ExportCounters(state, r);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gkeys
+
+int main(int argc, char** argv) {
+  gkeys::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

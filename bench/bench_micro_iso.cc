@@ -1,0 +1,148 @@
+// Micro-benchmarks for the matching substrates: the combined EvalMR
+// search vs VF2 full enumeration (the §4.1 early-termination claim),
+// pairing-relation computation (Prop. 9), d-neighbor extraction, and
+// union-find operations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/neighborhood.h"
+#include "isomorph/pairing.h"
+#include "isomorph/vf2.h"
+
+namespace gkeys {
+namespace bench {
+namespace {
+
+/// Shared workload: one synthetic dataset plus its context and one
+/// identifiable candidate to probe.
+struct MicroFixture {
+  SyntheticDataset ds;
+  std::unique_ptr<EmContext> ctx;
+  const Candidate* planted_candidate = nullptr;
+  const Candidate* negative_candidate = nullptr;
+  EquivalenceRelation eq{0};
+
+  MicroFixture() : ds(MakeDataset(Dataset::kSynthetic, 1.0, 2, 2)) {
+    EmOptions opts;
+    ctx = std::make_unique<EmContext>(ds.graph, ds.keys, opts);
+    eq = EquivalenceRelation(ds.graph.NumNodes());
+    for (auto [a, b] : ds.planted) eq.Union(a, b);
+    for (const Candidate& c : ctx->candidates()) {
+      if (eq.Same(c.e1, c.e2) && planted_candidate == nullptr) {
+        planted_candidate = &c;
+      }
+      if (!eq.Same(c.e1, c.e2) && negative_candidate == nullptr) {
+        negative_candidate = &c;
+      }
+    }
+  }
+
+  static MicroFixture& Get() {
+    static MicroFixture* f = new MicroFixture();
+    return *f;
+  }
+};
+
+void BM_EvalSearchPositive(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  EqView view(&f.eq);
+  for (auto _ : state) {
+    bool found = false;
+    for (int ki : *c.keys) {
+      found = KeyIdentifies(f.ds.graph, f.ctx->compiled_keys()[ki].cp, c.e1,
+                            c.e2, view, c.nbr1, c.nbr2);
+      if (found) break;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_EvalSearchPositive);
+
+void BM_Vf2EnumerationPositive(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  EqView view(&f.eq);
+  for (auto _ : state) {
+    bool found = false;
+    for (int ki : *c.keys) {
+      found = IdentifiesByEnumeration(f.ds.graph,
+                                      f.ctx->compiled_keys()[ki].cp, c.e1,
+                                      c.e2, view, c.nbr1, c.nbr2);
+      if (found) break;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_Vf2EnumerationPositive);
+
+void BM_EvalSearchNegative(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.negative_candidate;
+  EqView view(&f.eq);
+  for (auto _ : state) {
+    bool found = false;
+    for (int ki : *c.keys) {
+      found |= KeyIdentifies(f.ds.graph, f.ctx->compiled_keys()[ki].cp,
+                             c.e1, c.e2, view, c.nbr1, c.nbr2);
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_EvalSearchNegative);
+
+void BM_PairingComputation(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  for (auto _ : state) {
+    for (int ki : *c.keys) {
+      PairingResult pr =
+          ComputeMaxPairing(f.ds.graph, f.ctx->compiled_keys()[ki].cp,
+                            c.e1, c.e2, *c.nbr1, *c.nbr2);
+      benchmark::DoNotOptimize(pr.paired);
+    }
+  }
+}
+BENCHMARK(BM_PairingComputation);
+
+void BM_DNeighborExtraction(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    NodeSet n = DNeighbor(f.ds.graph, c.e1, d);
+    benchmark::DoNotOptimize(n.size());
+  }
+}
+BENCHMARK(BM_DNeighborExtraction)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_UnionFindOps(benchmark::State& state) {
+  size_t n = 100000;
+  for (auto _ : state) {
+    EquivalenceRelation eq(n);
+    for (NodeId i = 0; i + 1 < n; i += 2) eq.Union(i, i + 1);
+    bool same = eq.Same(0, 1);
+    benchmark::DoNotOptimize(same);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+BENCHMARK(BM_UnionFindOps);
+
+void BM_ConcurrentUnionFindOps(benchmark::State& state) {
+  size_t n = 100000;
+  for (auto _ : state) {
+    ConcurrentEquivalence eq(n);
+    for (NodeId i = 0; i + 1 < n; i += 2) eq.Union(i, i + 1);
+    bool same = eq.Same(0, 1);
+    benchmark::DoNotOptimize(same);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+BENCHMARK(BM_ConcurrentUnionFindOps);
+
+}  // namespace
+}  // namespace bench
+}  // namespace gkeys
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+#ifndef GKEYS_BENCH_BENCH_UTIL_H_
+#define GKEYS_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+
+namespace gkeys {
+namespace bench {
+
+/// The three evaluation datasets of paper §6.
+enum class Dataset { kGoogle, kDBpedia, kSynthetic };
+
+inline std::string DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kGoogle: return "Google";
+    case Dataset::kDBpedia: return "DBpedia";
+    case Dataset::kSynthetic: return "Synthetic";
+  }
+  return "?";
+}
+
+/// Builds a dataset at a given scale with dependency-chain length `c` and
+/// key radius `d`. The Google/DBpedia simulators have fixed schemas (their
+/// own c and d); c/d sweeps therefore use the synthetic generator, exactly
+/// as the paper varies its synthetic Σ.
+inline SyntheticDataset MakeDataset(Dataset which, double scale, int c = 2,
+                                    int d = 2) {
+  switch (which) {
+    case Dataset::kGoogle: {
+      GoogleSimConfig cfg;
+      // Sized so one matching round is compute-bound (≫ framework
+      // overhead); |L| grows quadratically in the per-type population.
+      cfg.scale = scale * 6.0;
+      return GenerateGoogleSim(cfg);
+    }
+    case Dataset::kDBpedia: {
+      DBpediaSimConfig cfg;
+      cfg.scale = scale * 4.0;
+      return GenerateDBpediaSim(cfg);
+    }
+    case Dataset::kSynthetic: {
+      SyntheticConfig cfg;
+      cfg.num_groups = 5;
+      cfg.chain_length = c;
+      cfg.radius = d;
+      cfg.entities_per_type = 60;
+      cfg.scale = scale;
+      return GenerateSynthetic(cfg);
+    }
+  }
+  return {};
+}
+
+/// The five algorithms evaluated in the paper's figures.
+inline const std::vector<Algorithm>& PaperAlgorithms() {
+  static const std::vector<Algorithm> algos = {
+      Algorithm::kEmVf2Mr, Algorithm::kEmMr, Algorithm::kEmOptMr,
+      Algorithm::kEmVc, Algorithm::kEmOptVc};
+  return algos;
+}
+
+/// Publishes MatchResult statistics as benchmark counters.
+inline void ExportCounters(benchmark::State& state, const MatchResult& r) {
+  state.counters["pairs"] = static_cast<double>(r.pairs.size());
+  state.counters["candidates"] = static_cast<double>(r.stats.candidates);
+  state.counters["rounds"] = static_cast<double>(r.stats.rounds);
+  state.counters["iso_checks"] = static_cast<double>(r.stats.iso_checks);
+  state.counters["messages"] = static_cast<double>(r.stats.messages);
+}
+
+/// One timed entity-matching run, reused by the figure benchmarks.
+inline void RunEntityMatching(benchmark::State& state,
+                              const SyntheticDataset& ds, Algorithm algo,
+                              int processors) {
+  size_t pairs = 0;
+  MatchResult last;
+  for (auto _ : state) {
+    last = MatchEntities(ds.graph, ds.keys, algo, processors);
+    pairs = last.pairs.size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  if (pairs != ds.planted.size()) {
+    state.SkipWithError("result mismatch vs planted ground truth");
+    return;
+  }
+  ExportCounters(state, last);
+}
+
+}  // namespace bench
+}  // namespace gkeys
+
+#endif  // GKEYS_BENCH_BENCH_UTIL_H_

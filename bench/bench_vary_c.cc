@@ -1,0 +1,59 @@
+// Exp-3, varying c (paper Fig. 8(c), 8(g), 8(k)): wall time as the
+// longest dependency-chain length c in Σ grows from 1 to 5, fixing p = 4,
+// d = 2. The paper's claims: all algorithms slow down with c; the number
+// of MapReduce rounds grows with c (2 → 9 in the paper); the
+// vertex-centric algorithms are LESS sensitive to c because asynchronous
+// message passing has no per-round straggler barrier.
+
+#include "bench_util.h"
+
+namespace gkeys {
+namespace bench {
+namespace {
+
+void RegisterAll() {
+  for (int c : {1, 2, 3, 4, 5}) {
+    auto data = std::make_shared<SyntheticDataset>(
+        MakeDataset(Dataset::kSynthetic, /*scale=*/1.0, c, /*d=*/2));
+    for (Algorithm algo : PaperAlgorithms()) {
+      std::string name = "VaryC/Synthetic/" + AlgorithmName(algo) +
+                         "/c:" + std::to_string(c);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [data, algo](benchmark::State& state) {
+            RunEntityMatching(state, *data, algo, /*processors=*/4);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  // The Google/DBpedia schemas have fixed chains (c = 3); register them
+  // once as reference points for the figure's real-life panels.
+  for (Dataset ds : {Dataset::kGoogle, Dataset::kDBpedia}) {
+    auto data =
+        std::make_shared<SyntheticDataset>(MakeDataset(ds, /*scale=*/1.0));
+    for (Algorithm algo : PaperAlgorithms()) {
+      std::string name = "VaryC/" + DatasetName(ds) + "/" +
+                         AlgorithmName(algo) + "/c:native";
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [data, algo](benchmark::State& state) {
+            RunEntityMatching(state, *data, algo, /*processors=*/4);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gkeys
+
+int main(int argc, char** argv) {
+  gkeys::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

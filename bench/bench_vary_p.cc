@@ -1,0 +1,45 @@
+// Exp-1 (paper Fig. 8(a), 8(e), 8(i)): wall time of the five algorithms
+// as the number of processors p grows, on Google-, DBpedia- and
+// Synthetic-like workloads with c = 2, d = 2. The paper's claim: every
+// algorithm is parallel scalable (time ~ 1/p), EMVC beats EMMR, and the
+// Opt variants beat their bases.
+
+#include "bench_util.h"
+
+namespace gkeys {
+namespace bench {
+namespace {
+
+void RegisterAll() {
+  for (Dataset ds :
+       {Dataset::kGoogle, Dataset::kDBpedia, Dataset::kSynthetic}) {
+    // Built once per (dataset); shared across algorithm registrations.
+    auto data = std::make_shared<SyntheticDataset>(
+        MakeDataset(ds, /*scale=*/1.0, /*c=*/2, /*d=*/2));
+    for (Algorithm algo : PaperAlgorithms()) {
+      for (int p : {1, 2, 4, 8}) {
+        std::string name = "VaryP/" + DatasetName(ds) + "/" +
+                           AlgorithmName(algo) + "/p:" + std::to_string(p);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [data, algo, p](benchmark::State& state) {
+              RunEntityMatching(state, *data, algo, p);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gkeys
+
+int main(int argc, char** argv) {
+  gkeys::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

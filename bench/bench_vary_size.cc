@@ -1,0 +1,46 @@
+// Exp-2 (paper Fig. 8(b), 8(f), 8(j)): wall time as the graph scale
+// factor grows from 0.2 to 1.0, fixing p = 4, c = 2, d = 2. All
+// algorithms grow with |G|; the ranking EMOptVC < EMVC < EMOptMR < EMMR
+// < EMVF2MR must be preserved at every scale.
+
+#include "bench_util.h"
+
+namespace gkeys {
+namespace bench {
+namespace {
+
+void RegisterAll() {
+  for (Dataset ds :
+       {Dataset::kGoogle, Dataset::kDBpedia, Dataset::kSynthetic}) {
+    for (double scale : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      auto data = std::make_shared<SyntheticDataset>(
+          MakeDataset(ds, scale, /*c=*/2, /*d=*/2));
+      for (Algorithm algo : PaperAlgorithms()) {
+        std::string name = "VarySize/" + DatasetName(ds) + "/" +
+                           AlgorithmName(algo) +
+                           "/scale:" + std::to_string(scale).substr(0, 3);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [data, algo](benchmark::State& state) {
+              state.counters["triples"] =
+                  static_cast<double>(data->graph.NumTriples());
+              RunEntityMatching(state, *data, algo, /*processors=*/4);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gkeys
+
+int main(int argc, char** argv) {
+  gkeys::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

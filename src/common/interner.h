@@ -1,0 +1,60 @@
+#ifndef GKEYS_COMMON_INTERNER_H_
+#define GKEYS_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gkeys {
+
+/// A symbol: index into a StringInterner. 32-bit so it packs tightly into
+/// triples and adjacency lists.
+using Symbol = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = UINT32_MAX;
+
+/// Bidirectional string <-> Symbol table. Not thread-safe for writes;
+/// reads of already-interned symbols are safe after construction phases.
+///
+/// The graph, pattern, and generator layers share one interner per Graph so
+/// predicate/type/value identifiers compare by integer equality.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  // Copyable: a Graph owns its interner and graphs are copyable.
+  StringInterner(const StringInterner&) = default;
+  StringInterner& operator=(const StringInterner&) = default;
+
+  /// Returns the symbol for `s`, interning it if new.
+  Symbol Intern(std::string_view s) {
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+    Symbol id = static_cast<Symbol>(strings_.size());
+    strings_.emplace_back(s);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the symbol for `s` or kNoSymbol if absent. Does not intern.
+  Symbol Lookup(std::string_view s) const {
+    auto it = index_.find(std::string(s));
+    return it == index_.end() ? kNoSymbol : it->second;
+  }
+
+  /// Resolves a symbol back to its string. `sym` must be valid.
+  const std::string& Resolve(Symbol sym) const { return strings_[sym]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+}  // namespace gkeys
+
+#endif  // GKEYS_COMMON_INTERNER_H_

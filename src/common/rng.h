@@ -1,0 +1,46 @@
+#ifndef GKEYS_COMMON_RNG_H_
+#define GKEYS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace gkeys {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by the generators and the
+/// property tests so every run is reproducible from a seed. Deliberately
+/// not std::mt19937 so results are identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Forks an independent stream (for per-thread determinism).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gkeys
+
+#endif  // GKEYS_COMMON_RNG_H_

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gkeys {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  ParallelShards(num_threads, n, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ParallelShards(int num_threads, size_t n,
+                    const std::function<void(int, size_t, size_t)>& fn) {
+  int p = std::max(1, num_threads);
+  if (n == 0) return;
+  if (p == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  size_t chunk = (n + p - 1) / p;
+  for (int t = 0; t < p; ++t) {
+    size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace gkeys

@@ -1,0 +1,60 @@
+#ifndef GKEYS_COMMON_THREAD_POOL_H_
+#define GKEYS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gkeys {
+
+/// A fixed-size worker pool. Tasks are arbitrary std::function<void()>.
+/// Used by the MapReduce runtime for map/reduce phases and by parallel
+/// helpers; the vertex-centric engine manages its own workers because it
+/// needs message-driven scheduling rather than a task queue.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;  // queued + running tasks, guarded by mu_
+  bool stop_ = false;     // guarded by mu_
+};
+
+/// Runs `fn(i)` for i in [0, n) across `num_threads` threads, blocking until
+/// all iterations finish. Work is divided into contiguous chunks.
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Runs `fn(shard, begin, end)` for `num_threads` contiguous shards of
+/// [0, n). Useful when per-thread state (e.g., a local buffer) is needed.
+void ParallelShards(int num_threads, size_t n,
+                    const std::function<void(int, size_t, size_t)>& fn);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_COMMON_THREAD_POOL_H_

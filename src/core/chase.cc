@@ -1,0 +1,86 @@
+#include "core/chase.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace gkeys {
+
+MatchResult Chase(const Graph& g, const KeySet& keys,
+                  const ChaseOptions& options) {
+  Timer prep_timer;
+  EmOptions eopts;
+  eopts.processors = 1;
+  eopts.use_vf2 = options.use_vf2;
+  EmContext ctx(g, keys, eopts);
+
+  MatchResult result;
+  result.stats.prep_seconds = prep_timer.Seconds();
+  result.stats.candidates_initial = ctx.candidates_initial();
+  result.stats.candidates = ctx.candidates().size();
+
+  std::vector<uint32_t> order(ctx.candidates().size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.shuffle_seed != 0) {
+    Rng rng(options.shuffle_seed);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.Below(i)]);
+    }
+  }
+
+  Timer run_timer;
+  EquivalenceRelation eq(g.NumNodes());
+  EqView view(&eq);
+  std::vector<uint32_t> active = order;
+  std::vector<uint32_t> next;
+  bool changed = true;
+  while (changed && !active.empty()) {
+    changed = false;
+    ++result.stats.rounds;
+    next.clear();
+    for (uint32_t idx : active) {
+      const Candidate& c = ctx.candidates()[idx];
+      if (eq.Same(c.e1, c.e2)) continue;  // already identified (or TC)
+      ++result.stats.iso_checks;
+      if (ctx.Identifies(c, view, &result.stats.search,
+                         options.unrestricted_neighbors)) {
+        eq.Union(c.e1, c.e2);
+        changed = true;
+      } else {
+        next.push_back(idx);
+      }
+    }
+    active.swap(next);
+  }
+  result.stats.run_seconds = run_timer.Seconds();
+  result.pairs = eq.IdentifiedPairs();
+  result.stats.confirmed = result.pairs.size();
+  result.stats.neighbor_nodes = ctx.neighbor_nodes();
+  result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
+  return result;
+}
+
+bool Identified(const Graph& g, const KeySet& keys, NodeId e1, NodeId e2) {
+  if (e1 == e2) return true;
+  MatchResult r = Chase(g, keys);
+  if (e1 > e2) std::swap(e1, e2);
+  for (const auto& [a, b] : r.pairs) {
+    if (a == e1 && b == e2) return true;
+  }
+  return false;
+}
+
+bool Satisfies(const Graph& g, const Key& key) {
+  KeySet single;
+  single.Add(key);
+  return Satisfies(g, single);
+}
+
+bool Satisfies(const Graph& g, const KeySet& keys) {
+  // G |= Σ iff the chase derives nothing beyond node identity: the first
+  // chase step (if any) uses Eq0 and already witnesses a violation.
+  return Chase(g, keys).pairs.empty();
+}
+
+}  // namespace gkeys

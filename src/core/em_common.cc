@@ -1,0 +1,288 @@
+#include "core/em_common.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/thread_pool.h"
+
+#include "isomorph/pairing.h"
+#include "isomorph/vf2.h"
+
+namespace gkeys {
+
+std::string AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kNaiveChase: return "NaiveChase";
+    case Algorithm::kEmMr: return "EMMR";
+    case Algorithm::kEmVf2Mr: return "EMVF2MR";
+    case Algorithm::kEmOptMr: return "EMOptMR";
+    case Algorithm::kEmVc: return "EMVC";
+    case Algorithm::kEmOptVc: return "EMOptVC";
+  }
+  return "?";
+}
+
+EmOptions EmOptions::For(Algorithm a, int p) {
+  EmOptions o;
+  o.processors = p;
+  switch (a) {
+    case Algorithm::kNaiveChase:
+    case Algorithm::kEmMr:
+      break;
+    case Algorithm::kEmVf2Mr:
+      o.use_vf2 = true;
+      break;
+    case Algorithm::kEmOptMr:
+      o.use_pairing = true;
+      o.use_dependency = true;
+      o.use_incremental = true;
+      break;
+    case Algorithm::kEmVc:
+      // The product graph is built from pairing (paper §5.1), but plain
+      // EMVC uses neither bounded messages nor prioritization.
+      o.use_pairing = true;
+      break;
+    case Algorithm::kEmOptVc:
+      o.use_pairing = true;
+      o.bounded_messages = 4;  // the paper's k = 4
+      o.prioritized = true;
+      break;
+  }
+  return o;
+}
+
+EmContext::EmContext(const Graph& g, const KeySet& keys,
+                     const EmOptions& opts)
+    : g_(&g), keys_(&keys), opts_(opts) {
+  compiled_.reserve(keys.count());
+  for (size_t i = 0; i < keys.count(); ++i) {
+    const Key& k = keys.key(i);
+    CompiledKey ck;
+    ck.key = &k;
+    ck.cp = Compile(k.pattern(), g);
+    ck.tour = ComputeTour(ck.cp);
+    Symbol t = ck.cp.nodes[ck.cp.designated].type;
+    if (t != kNoSymbol) {
+      keys_by_type_[t].push_back(static_cast<int>(i));
+      int& r = radius_by_type_[t];
+      r = std::max(r, k.radius());
+    }
+    compiled_.push_back(std::move(ck));
+  }
+  BuildCandidates();
+  BuildDependencyIndex();
+}
+
+const std::vector<int>& EmContext::KeysForType(Symbol t) const {
+  static const std::vector<int> kEmpty;
+  auto it = keys_by_type_.find(t);
+  return it == keys_by_type_.end() ? kEmpty : it->second;
+}
+
+void EmContext::BuildCandidates() {
+  const Graph& g = *g_;
+  const int p = std::max(1, opts_.processors);
+
+  // Phase A: d-neighbors of every keyed entity, in parallel — the paper's
+  // DriverMR builds the Gd's "also in MapReduce" (§4.1).
+  std::vector<std::pair<NodeId, int>> todo;  // (entity, radius d)
+  for (const auto& [type, key_ids] : keys_by_type_) {
+    int d = radius_by_type_.at(type);
+    for (NodeId e : g.EntitiesOfType(type)) todo.emplace_back(e, d);
+  }
+  {
+    std::vector<NodeSet> sets(todo.size());
+    ParallelFor(p, todo.size(), [&](size_t i) {
+      sets[i] = DNeighbor(g, todo[i].first, todo[i].second);
+    });
+    for (size_t i = 0; i < todo.size(); ++i) {
+      neighbor_nodes_ += sets[i].size();
+      dneighbor_cache_.emplace(todo[i].first, std::move(sets[i]));
+    }
+  }
+
+  // Phase B: enumerate L (all same-type pairs of keyed entities).
+  struct RawPair {
+    NodeId e1, e2;
+    const std::vector<int>* keys;
+    bool recursive, value_based;
+  };
+  std::vector<RawPair> raw;
+  for (const auto& [type, key_ids] : keys_by_type_) {
+    auto entities = g.EntitiesOfType(type);
+    bool recursive = false, value_based = false;
+    for (int ki : key_ids) {
+      if (compiled_[ki].key->recursive()) {
+        recursive = true;
+      } else {
+        value_based = true;
+      }
+    }
+    for (size_t i = 0; i < entities.size(); ++i) {
+      for (size_t j = i + 1; j < entities.size(); ++j) {
+        raw.push_back(RawPair{entities[i], entities[j], &key_ids,
+                              recursive, value_based});
+      }
+    }
+  }
+  candidates_initial_ = raw.size();
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(raw.begin(), raw.end(), [](const RawPair& a, const RawPair& b) {
+    return std::tie(a.e1, a.e2) < std::tie(b.e1, b.e2);
+  });
+
+  // Phase C: optional pairing filter + neighbor reduction, in parallel.
+  struct Reduction {
+    bool keep = true;
+    NodeSet r1, r2;
+  };
+  std::vector<Reduction> reductions(opts_.use_pairing ? raw.size() : 0);
+  if (opts_.use_pairing) {
+    ParallelFor(p, raw.size(), [&](size_t i) {
+      const RawPair& rp = raw[i];
+      const NodeSet& n1 = dneighbor_cache_.at(rp.e1);
+      const NodeSet& n2 = dneighbor_cache_.at(rp.e2);
+      Reduction& red = reductions[i];
+      red.keep = false;
+      for (int ki : *rp.keys) {
+        PairingResult pr =
+            ComputeMaxPairing(g, compiled_[ki].cp, rp.e1, rp.e2, n1, n2);
+        if (pr.paired) {
+          red.keep = true;  // §4.2: keep only pairable pairs (Prop. 9)
+          red.r1.UnionWith(pr.reduced1);
+          red.r2.UnionWith(pr.reduced2);
+        }
+      }
+    });
+  }
+
+  // Assembly (sequential: the pools need stable addresses).
+  candidates_.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const RawPair& rp = raw[i];
+    Candidate c;
+    c.e1 = rp.e1;
+    c.e2 = rp.e2;
+    c.keys = rp.keys;
+    c.has_recursive_key = rp.recursive;
+    c.has_value_based_key = rp.value_based;
+    if (opts_.use_pairing) {
+      Reduction& red = reductions[i];
+      if (!red.keep) {
+        // Provably not identifiable directly — but it may still become
+        // equal transitively; remember it for ghost tracking.
+        dropped_.emplace_back(rp.e1, rp.e2);
+        continue;
+      }
+      neighbor_nodes_reduced_ += red.r1.size() + red.r2.size();
+      reduced_pool_.push_back(std::move(red.r1));
+      c.nbr1 = &reduced_pool_.back();
+      reduced_pool_.push_back(std::move(red.r2));
+      c.nbr2 = &reduced_pool_.back();
+    } else {
+      c.nbr1 = &dneighbor_cache_.at(rp.e1);
+      c.nbr2 = &dneighbor_cache_.at(rp.e2);
+    }
+    candidates_.push_back(std::move(c));
+  }
+}
+
+void EmContext::BuildDependencyIndex() {
+  const int p = std::max(1, opts_.processors);
+  dependents_.assign(candidates_.size(), {});
+  // entity -> pair ids it participates in. Ids [0, C) are candidates;
+  // ids [C, C + D) are pairs the pairing filter dropped — they cannot be
+  // identified directly, but they can become equal transitively, so
+  // dependencies must see them too.
+  const uint32_t num_candidates = static_cast<uint32_t>(candidates_.size());
+  std::unordered_map<NodeId, std::vector<uint32_t>> by_entity;
+  for (uint32_t i = 0; i < num_candidates; ++i) {
+    by_entity[candidates_[i].e1].push_back(i);
+    by_entity[candidates_[i].e2].push_back(i);
+  }
+  for (uint32_t d = 0; d < dropped_.size(); ++d) {
+    by_entity[dropped_[d].first].push_back(num_candidates + d);
+    by_entity[dropped_[d].second].push_back(num_candidates + d);
+  }
+  // Parallel phase: for each candidate j, the candidates it DEPENDS ON —
+  // pairs lying inside j's neighbors (one entity per side, either
+  // orientation) whose type matches an entity variable of a recursive
+  // key on j (§4.2).
+  std::vector<std::vector<uint32_t>> depends_on(candidates_.size());
+  ParallelFor(p, candidates_.size(), [&](size_t j) {
+    const Candidate& cj = candidates_[j];
+    if (!cj.has_recursive_key) return;
+    std::vector<Symbol> dep_types;
+    for (int ki : *cj.keys) {
+      const CompiledPattern& cp = compiled_[ki].cp;
+      for (const CompiledNode& n : cp.nodes) {
+        if (n.kind == VarKind::kEntityVar) dep_types.push_back(n.type);
+      }
+    }
+    if (dep_types.empty()) return;
+    std::sort(dep_types.begin(), dep_types.end());
+    dep_types.erase(std::unique(dep_types.begin(), dep_types.end()),
+                    dep_types.end());
+    auto scan_side = [&](const NodeSet& near, const NodeSet& far) {
+      for (NodeId n : near) {
+        if (!g_->IsEntity(n)) continue;
+        if (!std::binary_search(dep_types.begin(), dep_types.end(),
+                                g_->entity_type(n))) {
+          continue;
+        }
+        auto it = by_entity.find(n);
+        if (it == by_entity.end()) continue;
+        for (uint32_t i : it->second) {
+          if (i == j) continue;
+          auto [p1, p2] = i < num_candidates
+                              ? std::pair<NodeId, NodeId>{candidates_[i].e1,
+                                                          candidates_[i].e2}
+                              : dropped_[i - num_candidates];
+          NodeId other = p1 == n ? p2 : p1;
+          if (far.Contains(other)) depends_on[j].push_back(i);
+        }
+      }
+    };
+    scan_side(*cj.nbr1, *cj.nbr2);
+    scan_side(*cj.nbr2, *cj.nbr1);
+    std::sort(depends_on[j].begin(), depends_on[j].end());
+    depends_on[j].erase(
+        std::unique(depends_on[j].begin(), depends_on[j].end()),
+        depends_on[j].end());
+  });
+  // Sequential inversion: dependents_[i] = { j : j depends on i }.
+  // Dropped pairs with dependents become ghosts.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> ghost_deps;
+  for (uint32_t j = 0; j < depends_on.size(); ++j) {
+    for (uint32_t i : depends_on[j]) {
+      if (i < num_candidates) {
+        dependents_[i].push_back(j);
+      } else {
+        ghost_deps[i - num_candidates].push_back(j);
+      }
+    }
+  }
+  for (auto& [d, deps] : ghost_deps) {
+    ghosts_.push_back(
+        GhostPair{dropped_[d].first, dropped_[d].second, std::move(deps)});
+  }
+  dropped_.clear();  // only the ghosts are needed from here on
+  dropped_.shrink_to_fit();
+}
+
+bool EmContext::Identifies(const Candidate& c, const EqView& eq,
+                           SearchStats* stats, bool unrestricted) const {
+  const NodeSet* n1 = unrestricted ? nullptr : c.nbr1;
+  const NodeSet* n2 = unrestricted ? nullptr : c.nbr2;
+  for (int ki : *c.keys) {
+    const CompiledPattern& cp = compiled_[ki].cp;
+    bool found =
+        opts_.use_vf2
+            ? IdentifiesByEnumeration(*g_, cp, c.e1, c.e2, eq, n1, n2, stats)
+            : KeyIdentifies(*g_, cp, c.e1, c.e2, eq, n1, n2, stats);
+    if (found) return true;  // early termination across keys
+  }
+  return false;
+}
+
+}  // namespace gkeys

@@ -1,0 +1,188 @@
+#ifndef GKEYS_CORE_EM_COMMON_H_
+#define GKEYS_CORE_EM_COMMON_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eq/equivalence.h"
+#include "graph/graph.h"
+#include "graph/neighborhood.h"
+#include "isomorph/eval_search.h"
+#include "keys/key.h"
+#include "pattern/pattern.h"
+#include "pattern/tour.h"
+
+namespace gkeys {
+
+/// Which entity-matching algorithm to run (paper §6 "Algorithms").
+enum class Algorithm {
+  kNaiveChase,  // sequential reference chase (correctness oracle)
+  kEmMr,        // EMMR        (§4.1)
+  kEmVf2Mr,     // EMVF2MR     (EMMR with VF2 full enumeration, no early stop)
+  kEmOptMr,     // EMOptMR     (EMMR + §4.2 optimizations)
+  kEmVc,        // EMVC        (§5.1)
+  kEmOptVc,     // EMOptVC     (EMVC + §5.2 optimizations)
+};
+
+std::string AlgorithmName(Algorithm a);
+
+/// Tunables shared by the algorithm family.
+struct EmOptions {
+  /// Number of processors p (worker threads).
+  int processors = 1;
+  /// EMMR family: replace the combined EvalMR search by VF2 enumeration.
+  bool use_vf2 = false;
+  /// §4.2: filter L and shrink d-neighbors with the pairing relation.
+  bool use_pairing = false;
+  /// §4.2: process pairs carrying only value-based keys first (L0 seeds).
+  bool use_dependency = false;
+  /// §4.2: re-check a pair only in round 1 or after a dependency changed.
+  bool use_incremental = false;
+  /// §5.2: per-(pair, key) message budget k; 0 = unbounded (plain EMVC).
+  int bounded_messages = 0;
+  /// §5.2: prioritized propagation (highest-potential edges first).
+  bool prioritized = false;
+
+  /// Presets matching the paper's five evaluated algorithms.
+  static EmOptions For(Algorithm a, int p);
+};
+
+/// Counters the benchmark harness reports (paper Table 2 and the
+/// optimization-effectiveness narratives in §6).
+struct EmStats {
+  size_t candidates_initial = 0;   // |L| before pairing reduction
+  size_t candidates = 0;           // |L| actually processed
+  size_t confirmed = 0;            // identified entity pairs in chase(G,Σ)
+  size_t rounds = 0;               // MapReduce rounds / engine runs
+  uint64_t iso_checks = 0;         // key-identification checks performed
+  uint64_t messages = 0;           // vertex-centric messages sent
+  size_t product_graph_nodes = 0;  // |Vp|
+  size_t product_graph_edges = 0;  // |Ep|
+  uint64_t neighbor_nodes = 0;   // Σ |Gd| over candidate entities
+  uint64_t neighbor_nodes_reduced = 0;  // after pairing reduction
+  SearchStats search;
+  double prep_seconds = 0.0;       // DriverMR line 1 work
+  double run_seconds = 0.0;        // fixpoint computation
+};
+
+/// The output of entity matching: chase(G, Σ).
+struct MatchResult {
+  /// All identified pairs (a, b), a < b, sorted — the non-reflexive part
+  /// of chase(G, Σ).
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  EmStats stats;
+};
+
+/// A candidate pair from L with its per-pair working set. The neighbor
+/// sets are owned by the EmContext (shared per-entity d-neighbors, or
+/// per-pair pairing-reduced sets) and outlive the candidate.
+struct Candidate {
+  NodeId e1, e2;
+  /// Indices into EmContext::compiled of keys defined on this pair's type.
+  const std::vector<int>* keys = nullptr;
+  /// Search restriction per side: the d-neighbor of e1 / e2, possibly
+  /// reduced by pairing (§4.2).
+  const NodeSet* nbr1 = nullptr;
+  const NodeSet* nbr2 = nullptr;
+  /// Whether any recursive key is defined on the pair.
+  bool has_recursive_key = false;
+  /// Whether any value-based key is defined on the pair (L0 membership).
+  bool has_value_based_key = false;
+};
+
+/// A key compiled against the target graph, with its EMVC traversal order.
+struct CompiledKey {
+  const Key* key = nullptr;
+  CompiledPattern cp;
+  std::vector<TourStep> tour;
+};
+
+/// Everything DriverMR's line 1 precomputes, shared by all algorithms:
+/// compiled keys, the candidate list L, d-neighbors (optionally pairing-
+/// reduced), and the entity-dependency index of §4.2.
+class EmContext {
+ public:
+  /// Builds the context. `g` must be finalized.
+  EmContext(const Graph& g, const KeySet& keys, const EmOptions& opts);
+
+  const Graph& graph() const { return *g_; }
+  const EmOptions& options() const { return opts_; }
+
+  const std::vector<CompiledKey>& compiled_keys() const { return compiled_; }
+
+  /// Key indices defined on entity type symbol `t` (graph interner ids).
+  const std::vector<int>& KeysForType(Symbol t) const;
+
+  /// The candidate list L (after optional pairing reduction).
+  const std::vector<Candidate>& candidates() const { return candidates_; }
+  size_t candidates_initial() const { return candidates_initial_; }
+
+  /// Dependency index (§4.2): dependents_[i] lists candidate indices j
+  /// such that candidate j depends on candidate i — i.e., identifying
+  /// candidate i can newly enable a recursive key on candidate j.
+  const std::vector<std::vector<uint32_t>>& dependents() const {
+    return dependents_;
+  }
+
+  /// A pair the pairing filter removed from L (provably not identifiable
+  /// by any key, Prop. 9) that some candidate still DEPENDS on: the pair
+  /// can become equal transitively (through other merges), newly enabling
+  /// a recursive key on its dependents. Ghosts are never isomorphism-
+  /// checked; the algorithms only watch them for Eq membership and then
+  /// wake their dependents. Without this, the pairing + incremental /
+  /// dependency optimizations would be incomplete (a regression test in
+  /// em_vertexcentric_test.cc pins the exact scenario).
+  struct GhostPair {
+    NodeId e1, e2;
+    std::vector<uint32_t> dependents;  // candidate indices
+  };
+  const std::vector<GhostPair>& ghosts() const { return ghosts_; }
+
+  /// Decides (Gd1 ∪ Gd2, Eq, Σ) |= (e1, e2) for candidate `c`, trying each
+  /// of its keys until one fires. Honors opts.use_vf2. When `unrestricted`
+  /// is true, searches all of G instead of the d-neighbors (the data-
+  /// locality property guarantees the same answer; tests rely on this).
+  bool Identifies(const Candidate& c, const EqView& eq,
+                  SearchStats* stats = nullptr,
+                  bool unrestricted = false) const;
+
+  /// Aggregate d-neighbor sizes (for the §6 reduction statistics):
+  /// neighbor_nodes() sums |Gd| over the distinct candidate entities
+  /// (neighbor_entities() of them); neighbor_nodes_reduced() sums the
+  /// pairing-reduced per-side sets over candidate pairs (two per pair).
+  uint64_t neighbor_nodes() const { return neighbor_nodes_; }
+  uint64_t neighbor_nodes_reduced() const {
+    return neighbor_nodes_reduced_;
+  }
+  size_t neighbor_entities() const { return dneighbor_cache_.size(); }
+
+ private:
+  void BuildCandidates();
+  void BuildDependencyIndex();
+
+  const Graph* g_;
+  const KeySet* keys_;
+  EmOptions opts_;
+  std::vector<CompiledKey> compiled_;
+  std::unordered_map<Symbol, std::vector<int>> keys_by_type_;
+  std::unordered_map<Symbol, int> radius_by_type_;
+  std::vector<Candidate> candidates_;
+  // Stable storage for the NodeSets candidates point into.
+  std::unordered_map<NodeId, NodeSet> dneighbor_cache_;
+  std::deque<NodeSet> reduced_pool_;
+  size_t candidates_initial_ = 0;
+  // Pairs dropped by the pairing filter, for ghost tracking.
+  std::vector<std::pair<NodeId, NodeId>> dropped_;
+  std::vector<GhostPair> ghosts_;
+  std::vector<std::vector<uint32_t>> dependents_;
+  uint64_t neighbor_nodes_ = 0;
+  uint64_t neighbor_nodes_reduced_ = 0;
+};
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_EM_COMMON_H_

@@ -1,0 +1,40 @@
+#ifndef GKEYS_CORE_EM_VERTEXCENTRIC_H_
+#define GKEYS_CORE_EM_VERTEXCENTRIC_H_
+
+#include "core/em_common.h"
+#include "keys/key.h"
+
+namespace gkeys {
+
+/// The EMVC family (paper §5): entity matching on the asynchronous
+/// vertex-centric engine. The algorithm constructs the product graph Gp,
+/// then seeds one message per (candidate pair, key). A message carries
+/// the partial instantiation vector m and walks Gp guided by the key's
+/// traversal order P_Q (a closed DFS tour from x, 2|Q| hops, Lemma 11);
+/// at each product node it runs the EvalMR feasibility conditions and
+/// forks a copy per eligible neighbor. A message arriving back at its
+/// origin fully instantiated proves (G, {Q}) |= (e1, e2): the pair is
+/// merged into the shared Eq and every dependent candidate (dep edges,
+/// §4.2) is re-seeded so recursive keys fire incrementally — no rounds,
+/// no barriers, no straggler blocking.
+///
+/// Optimizations (§5.2, enabled by EmOptions):
+///   * bounded_messages k — at most k message copies per (pair, key)
+///     check; once the budget is spent the message explores the remaining
+///     branches sequentially *in place*, backtracking instead of forking;
+///   * prioritized — eligible neighbors are tried highest-potential first
+///     (potential = the neighbor's edge count matching the next tour hop,
+///     collected while building Gp).
+///
+/// Transitive closure: subsumed by the concurrent union-find (see
+/// DESIGN.md); a quiescence sweep re-seeds dependents of pairs that became
+/// equal purely transitively, guaranteeing the chase fixpoint.
+MatchResult RunEmVertexCentric(const Graph& g, const KeySet& keys,
+                               const EmOptions& options);
+
+/// Same, with a pre-built context (benchmarks separate preprocessing).
+MatchResult RunEmVertexCentric(const EmContext& ctx);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_EM_VERTEXCENTRIC_H_

@@ -1,0 +1,30 @@
+#include "core/entity_matcher.h"
+
+namespace gkeys {
+
+MatchResult MatchEntities(const Graph& g, const KeySet& keys,
+                          Algorithm algorithm, int processors) {
+  return MatchEntities(g, keys, algorithm,
+                       EmOptions::For(algorithm, processors));
+}
+
+MatchResult MatchEntities(const Graph& g, const KeySet& keys,
+                          Algorithm algorithm, const EmOptions& options) {
+  switch (algorithm) {
+    case Algorithm::kNaiveChase: {
+      ChaseOptions copts;
+      copts.use_vf2 = options.use_vf2;
+      return Chase(g, keys, copts);
+    }
+    case Algorithm::kEmMr:
+    case Algorithm::kEmVf2Mr:
+    case Algorithm::kEmOptMr:
+      return RunEmMapReduce(g, keys, options);
+    case Algorithm::kEmVc:
+    case Algorithm::kEmOptVc:
+      return RunEmVertexCentric(g, keys, options);
+  }
+  return {};
+}
+
+}  // namespace gkeys

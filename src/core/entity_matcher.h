@@ -1,0 +1,40 @@
+#ifndef GKEYS_CORE_ENTITY_MATCHER_H_
+#define GKEYS_CORE_ENTITY_MATCHER_H_
+
+#include "core/chase.h"
+#include "core/em_common.h"
+#include "core/em_mapreduce.h"
+#include "core/em_vertexcentric.h"
+#include "keys/key.h"
+
+namespace gkeys {
+
+/// The library's top-level entry point: computes chase(G, Σ) — all entity
+/// pairs of `g` identified by the keys — with the chosen algorithm.
+///
+/// Quickstart:
+///
+///     gkeys::Graph g = ...;                 // build and Finalize()
+///     gkeys::KeySet keys;
+///     keys.AddFromDsl(R"(
+///       key AlbumByNameYear for album {
+///         x -[name_of]-> n*
+///         x -[release_year]-> y*
+///       })");
+///     gkeys::MatchResult r = gkeys::MatchEntities(
+///         g, keys, gkeys::Algorithm::kEmVc, /*processors=*/8);
+///     for (auto [a, b] : r.pairs) { ... }   // duplicates to fuse
+///
+/// All algorithms return exactly the same `pairs` (Proposition 1); they
+/// differ in execution strategy and therefore in `stats`.
+MatchResult MatchEntities(const Graph& g, const KeySet& keys,
+                          Algorithm algorithm = Algorithm::kEmOptVc,
+                          int processors = 1);
+
+/// Variant taking fully custom options.
+MatchResult MatchEntities(const Graph& g, const KeySet& keys,
+                          Algorithm algorithm, const EmOptions& options);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_ENTITY_MATCHER_H_

@@ -1,0 +1,78 @@
+#include "core/product_graph.h"
+
+#include "isomorph/pairing.h"
+
+namespace gkeys {
+
+uint32_t ProductGraph::Find(NodeId a, NodeId b) const {
+  auto it = index_.find(PackPair(a, b));
+  return it == index_.end() ? kNoPNode : it->second;
+}
+
+uint32_t ProductGraph::OutCount(uint32_t v, Symbol pred) const {
+  auto it = out_count_[v].find(pred);
+  return it == out_count_[v].end() ? 0 : it->second;
+}
+
+uint32_t ProductGraph::InCount(uint32_t v, Symbol pred) const {
+  auto it = in_count_[v].find(pred);
+  return it == in_count_[v].end() ? 0 : it->second;
+}
+
+ProductGraph BuildProductGraph(const EmContext& ctx) {
+  const Graph& g = ctx.graph();
+  ProductGraph pg;
+
+  auto add_node = [&pg](NodeId a, NodeId b) -> uint32_t {
+    uint64_t packed = PackPair(a, b);
+    auto [it, inserted] =
+        pg.index_.emplace(packed, static_cast<uint32_t>(pg.nodes_.size()));
+    if (inserted) pg.nodes_.emplace_back(a, b);
+    return it->second;
+  };
+
+  // Vp: every pair surviving in the maximum pairing relation of some key
+  // at some candidate (paper §5.1).
+  pg.candidate_nodes_.assign(ctx.candidates().size(), kNoPNode);
+  for (uint32_t i = 0; i < ctx.candidates().size(); ++i) {
+    const Candidate& c = ctx.candidates()[i];
+    bool any = false;
+    for (int ki : *c.keys) {
+      PairingResult pr =
+          ComputeMaxPairing(g, ctx.compiled_keys()[ki].cp, c.e1, c.e2,
+                            *c.nbr1, *c.nbr2, /*collect_pairs=*/true);
+      if (!pr.paired) continue;
+      any = true;
+      for (uint64_t p : pr.pairs) {
+        add_node(static_cast<NodeId>(p >> 32),
+                 static_cast<NodeId>(p & 0xffffffffu));
+      }
+    }
+    if (any) pg.candidate_nodes_[i] = add_node(c.e1, c.e2);
+  }
+
+  // Ep: ((s1, s2), p, (o1, o2)) iff (s1, p, o1) ∈ G and (s2, p, o2) ∈ G.
+  pg.out_.assign(pg.nodes_.size(), {});
+  pg.in_.assign(pg.nodes_.size(), {});
+  pg.out_count_.assign(pg.nodes_.size(), {});
+  pg.in_count_.assign(pg.nodes_.size(), {});
+  for (uint32_t v = 0; v < pg.nodes_.size(); ++v) {
+    auto [a, b] = pg.nodes_[v];
+    if (!g.IsEntity(a) || !g.IsEntity(b)) continue;
+    for (const Edge& ea : g.Out(a)) {
+      for (const Edge& eb : g.Out(b)) {
+        if (ea.pred != eb.pred) continue;
+        uint32_t dst = pg.Find(ea.dst, eb.dst);
+        if (dst == kNoPNode) continue;
+        pg.out_[v].push_back(ProductGraph::PEdge{ea.pred, dst});
+        pg.in_[dst].push_back(ProductGraph::PEdge{ea.pred, v});
+        ++pg.out_count_[v][ea.pred];
+        ++pg.in_count_[dst][ea.pred];
+        ++pg.num_edges_;
+      }
+    }
+  }
+  return pg;
+}
+
+}  // namespace gkeys

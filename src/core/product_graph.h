@@ -1,0 +1,78 @@
+#ifndef GKEYS_CORE_PRODUCT_GRAPH_H_
+#define GKEYS_CORE_PRODUCT_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/em_common.h"
+
+namespace gkeys {
+
+/// Sentinel for "no product node".
+inline constexpr uint32_t kNoPNode = UINT32_MAX;
+
+/// The product graph Gp = (Vp, Ep) of paper §5.1. Nodes are pairs
+/// (o1, o2) of graph nodes that appear in the maximum pairing relation of
+/// some key at some candidate pair (Prop. 9) — including diagonal pairs
+/// (o, o) and value pairs (v, v). There is an edge
+/// ((s1, s2), p, (o1, o2)) iff (s1, p, o1) and (s2, p, o2) are both
+/// triples of G. EMVC messages travel on these edges.
+///
+/// The paper's `dep` edges are kept at candidate granularity in
+/// EmContext::dependents(); its `tc` edges are subsumed by the shared
+/// union-find Eq (a merge makes the whole class equal at once, which is
+/// exactly what tc-propagation computes). Both substitutions are recorded
+/// in DESIGN.md.
+class ProductGraph {
+ public:
+  struct PEdge {
+    Symbol pred;
+    uint32_t dst;
+  };
+
+  /// The graph-node pair represented by product node `v`.
+  std::pair<NodeId, NodeId> pair(uint32_t v) const { return nodes_[v]; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const std::vector<PEdge>& Out(uint32_t v) const { return out_[v]; }
+  const std::vector<PEdge>& In(uint32_t v) const { return in_[v]; }
+
+  /// Product node for (a, b), or kNoPNode.
+  uint32_t Find(NodeId a, NodeId b) const;
+
+  /// Product node of candidate i, or kNoPNode when the candidate is not
+  /// pairable by any key (then it is not identifiable either).
+  uint32_t CandidateNode(uint32_t candidate) const {
+    return candidate_nodes_[candidate];
+  }
+
+  /// Prioritized-propagation statistic (§5.2): how many out-(resp. in-)
+  /// edges with predicate `pred` leave product node `v`. Collected at
+  /// construction time, as the paper prescribes.
+  uint32_t OutCount(uint32_t v, Symbol pred) const;
+  uint32_t InCount(uint32_t v, Symbol pred) const;
+
+ private:
+  friend ProductGraph BuildProductGraph(const EmContext& ctx);
+
+  std::vector<std::pair<NodeId, NodeId>> nodes_;
+  std::unordered_map<uint64_t, uint32_t> index_;
+  std::vector<std::vector<PEdge>> out_;
+  std::vector<std::vector<PEdge>> in_;
+  std::vector<uint32_t> candidate_nodes_;
+  std::vector<std::unordered_map<Symbol, uint32_t>> out_count_;
+  std::vector<std::unordered_map<Symbol, uint32_t>> in_count_;
+  size_t num_edges_ = 0;
+};
+
+/// Builds Gp from the context's candidates by re-running the pairing
+/// fixpoint per (candidate, key) and collecting every surviving pair.
+ProductGraph BuildProductGraph(const EmContext& ctx);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_PRODUCT_GRAPH_H_

@@ -1,0 +1,98 @@
+#include "core/provenance.h"
+
+#include <numeric>
+
+#include "common/timer.h"
+
+namespace gkeys {
+
+ProvenanceResult ChaseWithProvenance(const Graph& g, const KeySet& keys) {
+  Timer prep_timer;
+  EmOptions eopts;
+  EmContext ctx(g, keys, eopts);
+
+  ProvenanceResult out;
+  out.result.stats.prep_seconds = prep_timer.Seconds();
+  out.result.stats.candidates_initial = ctx.candidates_initial();
+  out.result.stats.candidates = ctx.candidates().size();
+
+  Timer run_timer;
+  EquivalenceRelation eq(g.NumNodes());
+  EqView view(&eq);
+  std::vector<uint32_t> active(ctx.candidates().size());
+  std::iota(active.begin(), active.end(), 0);
+  std::vector<uint32_t> next;
+  bool changed = true;
+  while (changed && !active.empty()) {
+    changed = false;
+    ++out.result.stats.rounds;
+    next.clear();
+    for (uint32_t idx : active) {
+      const Candidate& c = ctx.candidates()[idx];
+      if (eq.Same(c.e1, c.e2)) continue;
+      ++out.result.stats.iso_checks;
+      bool fired = false;
+      for (int ki : *c.keys) {
+        const CompiledKey& ck = ctx.compiled_keys()[ki];
+        Witness w;
+        if (!KeyIdentifiesWitness(g, ck.cp, c.e1, c.e2, view, c.nbr1,
+                                  c.nbr2, &w, &out.result.stats.search)) {
+          continue;
+        }
+        ChaseStep step;
+        step.e1 = c.e1;
+        step.e2 = c.e2;
+        step.key = ck.key->name();
+        step.round = out.result.stats.rounds;
+        for (size_t v = 0; v < ck.cp.nodes.size(); ++v) {
+          if (static_cast<int>(v) == ck.cp.designated) continue;
+          if (ck.cp.nodes[v].kind != VarKind::kEntityVar) continue;
+          auto [a, b] = w[v];
+          if (a != b) step.premises.emplace_back(std::min(a, b),
+                                                 std::max(a, b));
+        }
+        out.steps.push_back(std::move(step));
+        eq.Union(c.e1, c.e2);
+        changed = true;
+        fired = true;
+        break;
+      }
+      if (!fired) next.push_back(idx);
+    }
+    active.swap(next);
+  }
+  out.result.stats.run_seconds = run_timer.Seconds();
+  out.result.pairs = eq.IdentifiedPairs();
+  out.result.stats.confirmed = out.result.pairs.size();
+  return out;
+}
+
+std::string FormatChaseStep(const Graph& g, const ChaseStep& step) {
+  std::string s = g.DescribeNode(step.e1) + " == " +
+                  g.DescribeNode(step.e2) + "  by " + step.key +
+                  "  [round " + std::to_string(step.round) + "]";
+  if (!step.premises.empty()) {
+    s += "  because";
+    for (size_t i = 0; i < step.premises.size(); ++i) {
+      s += (i == 0 ? " " : ", ");
+      s += g.DescribeNode(step.premises[i].first) + " == " +
+           g.DescribeNode(step.premises[i].second);
+    }
+  }
+  return s;
+}
+
+bool ValidateDerivation(const Graph& g, const KeySet& keys,
+                        const std::vector<ChaseStep>& steps) {
+  (void)keys;
+  EquivalenceRelation derived(g.NumNodes());
+  for (const ChaseStep& step : steps) {
+    for (const auto& [a, b] : step.premises) {
+      if (!derived.Same(a, b)) return false;  // dangling premise
+    }
+    derived.Union(step.e1, step.e2);
+  }
+  return true;
+}
+
+}  // namespace gkeys

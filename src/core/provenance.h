@@ -1,0 +1,57 @@
+#ifndef GKEYS_CORE_PROVENANCE_H_
+#define GKEYS_CORE_PROVENANCE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/em_common.h"
+#include "keys/key.h"
+
+namespace gkeys {
+
+/// One recorded chase step Eq ⇒_(e1,e2) Eq' (paper §3.1): which key fired
+/// for which pair, and which previously derived facts it consumed. The
+/// steps of a run assemble into the DAG-shaped proof graphs that witness
+/// (G, Σ) |= (e1, e2) in the Theorem 2 upper-bound argument.
+struct ChaseStep {
+  NodeId e1, e2;
+  /// Name of the key that identified the pair.
+  std::string key;
+  /// 1-based chase round in which the step fired.
+  size_t round = 0;
+  /// The non-reflexive entity-variable facts the witness used — each one
+  /// was derived by an earlier step (the proof-graph edges). Reflexive
+  /// facts (e, e) are node identity and are omitted.
+  std::vector<std::pair<NodeId, NodeId>> premises;
+};
+
+/// chase(G, Σ) together with its derivation.
+struct ProvenanceResult {
+  MatchResult result;
+  /// Steps in firing order. Note |steps| counts *direct* identifications;
+  /// result.pairs additionally contains transitive consequences.
+  std::vector<ChaseStep> steps;
+};
+
+/// Runs the sequential chase recording provenance. The result equals
+/// Chase(g, keys) (Church–Rosser); steps record one witness per direct
+/// identification.
+ProvenanceResult ChaseWithProvenance(const Graph& g, const KeySet& keys);
+
+/// Renders a step like
+///   `album#3 == album#4  by Q2  [round 1]` or
+///   `artist#0 == artist#1  by Q3  [round 2]  because album#3 == album#4`.
+std::string FormatChaseStep(const Graph& g, const ChaseStep& step);
+
+/// Validates a derivation against the chase semantics: every premise of
+/// every step must have been derivable (union of earlier steps' pairs and
+/// node identity, transitively closed) when the step fired. Returns false
+/// on a dangling premise. Used by tests and by consumers that persist and
+/// re-check derivations.
+bool ValidateDerivation(const Graph& g, const KeySet& keys,
+                        const std::vector<ChaseStep>& steps);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_PROVENANCE_H_

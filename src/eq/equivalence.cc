@@ -1,0 +1,125 @@
+#include "eq/equivalence.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace gkeys {
+
+EquivalenceRelation::EquivalenceRelation(size_t num_nodes)
+    : parent_(num_nodes), rank_(num_nodes, 0) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+NodeId EquivalenceRelation::Find(NodeId n) const {
+  NodeId root = n;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[n] != root) {
+    NodeId next = parent_[n];
+    parent_[n] = root;
+    n = next;
+  }
+  return root;
+}
+
+bool EquivalenceRelation::Union(NodeId a, NodeId b) {
+  NodeId ra = Find(a), rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  ++merges_;
+  return true;
+}
+
+std::vector<std::vector<NodeId>> EquivalenceRelation::NontrivialClasses()
+    const {
+  std::unordered_map<NodeId, std::vector<NodeId>> groups;
+  for (NodeId n = 0; n < parent_.size(); ++n) {
+    groups[Find(n)].push_back(n);
+  }
+  std::vector<std::vector<NodeId>> classes;
+  for (auto& [root, members] : groups) {
+    if (members.size() > 1) {
+      std::sort(members.begin(), members.end());
+      classes.push_back(std::move(members));
+    }
+  }
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EquivalenceRelation::IdentifiedPairs()
+    const {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& cls : NontrivialClasses()) {
+    for (size_t i = 0; i < cls.size(); ++i) {
+      for (size_t j = i + 1; j < cls.size(); ++j) {
+        pairs.emplace_back(cls[i], cls[j]);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+ConcurrentEquivalence::ConcurrentEquivalence(size_t num_nodes)
+    : parent_(num_nodes) {
+  for (size_t i = 0; i < num_nodes; ++i) {
+    parent_[i].store(static_cast<NodeId>(i), std::memory_order_relaxed);
+  }
+}
+
+NodeId ConcurrentEquivalence::Find(NodeId n) const {
+  // Path halving with relaxed CAS; safe because parents only ever move
+  // toward roots.
+  for (;;) {
+    NodeId p = parent_[n].load(std::memory_order_acquire);
+    if (p == n) return n;
+    NodeId gp = parent_[p].load(std::memory_order_acquire);
+    if (gp == p) return p;
+    parent_[n].compare_exchange_weak(p, gp, std::memory_order_release,
+                                     std::memory_order_relaxed);
+    n = gp;
+  }
+}
+
+bool ConcurrentEquivalence::Same(NodeId a, NodeId b) const {
+  for (;;) {
+    NodeId ra = Find(a), rb = Find(b);
+    if (ra == rb) return true;
+    // ra might have been merged under rb (or elsewhere) between the two
+    // Finds; it is still a root iff its parent is itself.
+    if (parent_[ra].load(std::memory_order_acquire) == ra) return false;
+  }
+}
+
+bool ConcurrentEquivalence::Union(NodeId a, NodeId b) {
+  for (;;) {
+    NodeId ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    // Deterministic tie-break: larger root id points at smaller, which
+    // keeps the structure acyclic under concurrency.
+    if (ra < rb) std::swap(ra, rb);
+    NodeId expected = ra;
+    if (parent_[ra].compare_exchange_strong(expected, rb,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      merges_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Lost the race; retry from the new roots.
+  }
+}
+
+EquivalenceRelation ConcurrentEquivalence::Snapshot() const {
+  EquivalenceRelation seq(parent_.size());
+  for (NodeId n = 0; n < parent_.size(); ++n) {
+    NodeId p = parent_[n].load(std::memory_order_acquire);
+    if (p != n) seq.Union(n, p);
+  }
+  return seq;
+}
+
+}  // namespace gkeys

@@ -1,0 +1,379 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/rng.h"
+
+namespace gkeys {
+
+namespace {
+
+void AddPlanted(SyntheticDataset& ds, NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  ds.planted.emplace_back(a, b);
+}
+
+}  // namespace
+
+SyntheticDataset GenerateGoogleSim(const GoogleSimConfig& config) {
+  SyntheticDataset ds;
+  Rng rng(config.seed);
+  Graph& g = ds.graph;
+
+  Status st = ds.keys.AddFromDsl(R"(
+    # Recursive person keys: identity flows person <- employer <- place.
+    key PersonByNameEmployer for person {
+      x -[name]-> n*
+      x -[works_at]-> y:employer
+    }
+    key PersonByNameUniversity for person {
+      x -[name]-> n*
+      x -[studied_at]-> y:university
+    }
+    key EmployerByNamePlace for employer {
+      x -[name]-> n*
+      x -[located_in]-> y:place
+    }
+    key UniversityByName for university {
+      x -[name]-> n*
+      x -[established]-> yr*
+    }
+    key PlaceByNameZip for place {
+      x -[name]-> n*
+      x -[zip]-> z*
+    }
+    key MajorByName for major {
+      x -[name]-> n*
+      x -[field]-> f*
+    }
+  )");
+  assert(st.ok());
+  (void)st;
+
+  auto scaled = [&](int v) {
+    return std::max(1, static_cast<int>(v * config.scale));
+  };
+  int counter = 0;
+  auto uniq = [&](const char* p) {
+    return std::string(p) + "_" + std::to_string(counter++);
+  };
+
+  auto add_place = [&](const std::string& name, const std::string& zip) {
+    NodeId e = g.AddEntity("place");
+    (void)g.AddTriple(e, "name", g.AddValue(name));
+    (void)g.AddTriple(e, "zip", g.AddValue(zip));
+    return e;
+  };
+  auto add_university = [&](const std::string& name, const std::string& yr) {
+    NodeId e = g.AddEntity("university");
+    (void)g.AddTriple(e, "name", g.AddValue(name));
+    (void)g.AddTriple(e, "established", g.AddValue(yr));
+    return e;
+  };
+  auto add_major = [&](const std::string& name) {
+    NodeId e = g.AddEntity("major");
+    (void)g.AddTriple(e, "name", g.AddValue(name));
+    (void)g.AddTriple(e, "field", g.AddValue(uniq("field")));
+    return e;
+  };
+  auto add_employer = [&](const std::string& name, NodeId place) {
+    NodeId e = g.AddEntity("employer");
+    (void)g.AddTriple(e, "name", g.AddValue(name));
+    (void)g.AddTriple(e, "located_in", place);
+    return e;
+  };
+
+  // ---- Background entities (singles with unique identifying values) ----
+  std::vector<NodeId> places, universities, majors, employers;
+  for (int i = 0; i < scaled(config.num_places); ++i) {
+    places.push_back(add_place(uniq("city"), uniq("zip")));
+  }
+  for (int i = 0; i < scaled(config.num_universities); ++i) {
+    universities.push_back(add_university(uniq("uni"), uniq("year")));
+  }
+  for (int i = 0; i < scaled(config.num_majors); ++i) {
+    majors.push_back(add_major(uniq("major")));
+  }
+  for (int i = 0; i < scaled(config.num_employers); ++i) {
+    employers.push_back(
+        add_employer(uniq("corp"), places[rng.Below(places.size())]));
+  }
+
+  auto add_person = [&](const std::string& name, NodeId employer,
+                        NodeId university, NodeId major) {
+    NodeId e = g.AddEntity("person");
+    (void)g.AddTriple(e, "name", g.AddValue(name));
+    (void)g.AddTriple(e, "works_at", employer);
+    (void)g.AddTriple(e, "studied_at", university);
+    (void)g.AddTriple(e, "majored_in", major);
+    return e;
+  };
+
+  for (int i = 0; i < scaled(config.num_persons); ++i) {
+    add_person(uniq("user"), employers[rng.Below(employers.size())],
+               universities[rng.Below(universities.size())],
+               majors[rng.Below(majors.size())]);
+  }
+
+  // ---- Planted duplicate accounts ----
+  int dup = std::max(1, static_cast<int>(config.duplicate_pairs *
+                                         config.scale));
+  for (int j = 0; j < dup; ++j) {
+    std::string tag = std::to_string(j);
+    if (j % 2 == 0) {
+      // Chained cluster: person pair -> employer pair -> place pair
+      // (resolves in 3 dependency steps: c = 3).
+      NodeId pa = add_place("dup_city_" + tag, "dup_zip_" + tag);
+      NodeId pb = add_place("dup_city_" + tag, "dup_zip_" + tag);
+      AddPlanted(ds, pa, pb);
+      NodeId ea = add_employer("dup_corp_" + tag, pa);
+      NodeId eb = add_employer("dup_corp_" + tag, pb);
+      AddPlanted(ds, ea, eb);
+      // Distinct universities/majors so only the employer key can fire.
+      NodeId ua = add_person("dup_user_" + tag, ea,
+                             universities[rng.Below(universities.size())],
+                             majors[rng.Below(majors.size())]);
+      NodeId ub = add_person("dup_user_" + tag, eb,
+                             universities[rng.Below(universities.size())],
+                             majors[rng.Below(majors.size())]);
+      AddPlanted(ds, ua, ub);
+    } else {
+      // Identity cluster: the two accounts share the same attribute
+      // entities — resolves in round 1 through node identity.
+      NodeId shared_emp = employers[rng.Below(employers.size())];
+      NodeId shared_uni = universities[rng.Below(universities.size())];
+      NodeId ua = add_person("dup_user_" + tag, shared_emp, shared_uni,
+                             majors[rng.Below(majors.size())]);
+      NodeId ub = add_person("dup_user_" + tag, shared_emp, shared_uni,
+                             majors[rng.Below(majors.size())]);
+      AddPlanted(ds, ua, ub);
+    }
+  }
+
+  g.Finalize();
+  std::sort(ds.planted.begin(), ds.planted.end());
+  return ds;
+}
+
+SyntheticDataset GenerateDBpediaSim(const DBpediaSimConfig& config) {
+  SyntheticDataset ds;
+  Rng rng(config.seed);
+  Graph& g = ds.graph;
+
+  Status st = ds.keys.AddFromDsl(R"(
+    # Fig. 1, music (Example 1): mutual recursion album <-> artist.
+    key Q1_AlbumByNameArtist for album {
+      x -[name_of]-> n*
+      x -[recorded_by]-> y:artist
+    }
+    key Q2_AlbumByNameYear for album {
+      x -[name_of]-> n*
+      x -[release_year]-> yr*
+    }
+    key Q3_ArtistByNameAlbum for artist {
+      x -[name_of]-> n*
+      y:album -[recorded_by]-> x
+    }
+    # Fig. 1, business: DAG patterns for merging / splitting.
+    key Q4_CompanyMerge for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      y:company -[parent_of]-> x
+    }
+    key Q5_CompanySplit for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      _p -[parent_of]-> y:company
+    }
+    # Fig. 1, address: constant condition.
+    key Q6_StreetByZip for street {
+      x -[zip_code]-> code*
+      x -[nation_of]-> "UK"
+    }
+    # Fig. 7 keys.
+    key F7_BookByCoverArtist for book {
+      x -[name_of]-> n*
+      x -[cover_artist]-> y:artist
+      x -[publisher]-> _c:company
+      _c -[employer_of]-> y
+    }
+    key F7_ArtistByBirth for artist {
+      x -[name_of]-> n1*
+      x -[birth_date]-> bd*
+      x -[birth_place]-> y:location
+    }
+    key F7_CompanyByCeoParent for company {
+      x -[name_of]-> n1*
+      x -[CEO]-> _h:person
+      _h -[name_of]-> n2*
+      x -[parent_company]-> y:company
+    }
+    key LocationByName for location {
+      x -[name_of]-> n*
+      x -[country_of]-> cc*
+    }
+  )");
+  assert(st.ok());
+  (void)st;
+
+  auto scaled = [&](int v) {
+    return std::max(1, static_cast<int>(v * config.scale));
+  };
+  int counter = 0;
+  auto uniq = [&](const char* p) {
+    return std::string(p) + "_" + std::to_string(counter++);
+  };
+  auto named = [&](const char* type, const std::string& name) {
+    NodeId e = g.AddEntity(type);
+    (void)g.AddTriple(e, "name_of", g.AddValue(name));
+    return e;
+  };
+
+  // ---- Background singles ----
+  std::vector<NodeId> artists, albums, companies, locations;
+  for (int i = 0; i < scaled(config.num_locations); ++i) {
+    NodeId l = named("location", uniq("loc"));
+    (void)g.AddTriple(l, "country_of", g.AddValue(uniq("cc")));
+    locations.push_back(l);
+  }
+  for (int i = 0; i < scaled(config.num_artists); ++i) {
+    NodeId a = named("artist", uniq("artist"));
+    (void)g.AddTriple(a, "birth_date", g.AddValue(uniq("bd")));
+    (void)g.AddTriple(a, "birth_place", locations[rng.Below(locations.size())]);
+    artists.push_back(a);
+  }
+  for (int i = 0; i < scaled(config.num_albums); ++i) {
+    NodeId al = named("album", uniq("album"));
+    (void)g.AddTriple(al, "release_year", g.AddValue(uniq("year")));
+    (void)g.AddTriple(al, "recorded_by", artists[rng.Below(artists.size())]);
+    albums.push_back(al);
+  }
+  for (int i = 0; i < scaled(config.num_companies); ++i) {
+    NodeId co = named("company", uniq("corp"));
+    NodeId ceo = named("person", uniq("ceo"));
+    (void)g.AddTriple(co, "CEO", ceo);
+    companies.push_back(co);
+  }
+  for (int i = 0; i < scaled(config.num_books); ++i) {
+    NodeId b = named("book", uniq("book"));
+    (void)g.AddTriple(b, "cover_artist", artists[rng.Below(artists.size())]);
+    (void)g.AddTriple(b, "publisher", companies[rng.Below(companies.size())]);
+  }
+  for (int i = 0; i < scaled(config.num_streets); ++i) {
+    NodeId s = g.AddEntity("street");
+    (void)g.AddTriple(s, "zip_code", g.AddValue(uniq("zip")));
+    (void)g.AddTriple(s, "nation_of",
+                      g.AddValue(i % 3 == 0 ? "UK" : "US"));
+  }
+
+  int dup = std::max(1, static_cast<int>(config.duplicate_pairs *
+                                         config.scale));
+  for (int j = 0; j < dup; ++j) {
+    std::string tag = std::to_string(j);
+
+    // ---- Music cluster (the paper's G1, Example 7): albums A resolve by
+    // Q2 (name + year), artists by Q3 (name + album), albums B by Q1
+    // (name + artist): a 3-step mutually recursive chain.
+    NodeId r1 = named("artist", "dup_artist_" + tag);
+    NodeId r2 = named("artist", "dup_artist_" + tag);
+    NodeId a1 = named("album", "dup_albumA_" + tag);
+    NodeId a2 = named("album", "dup_albumA_" + tag);
+    (void)g.AddTriple(a1, "release_year", g.AddValue("y" + tag));
+    (void)g.AddTriple(a2, "release_year", g.AddValue("y" + tag));
+    (void)g.AddTriple(a1, "recorded_by", r1);
+    (void)g.AddTriple(a2, "recorded_by", r2);
+    NodeId b1 = named("album", "dup_albumB_" + tag);
+    NodeId b2 = named("album", "dup_albumB_" + tag);
+    (void)g.AddTriple(b1, "release_year", g.AddValue(uniq("year")));
+    (void)g.AddTriple(b2, "release_year", g.AddValue(uniq("year")));
+    (void)g.AddTriple(b1, "recorded_by", r1);
+    (void)g.AddTriple(b2, "recorded_by", r2);
+    AddPlanted(ds, a1, a2);
+    AddPlanted(ds, r1, r2);
+    AddPlanted(ds, b1, b2);
+
+    // ---- Business cluster (the paper's G2): (m1, m2) are split children
+    // of the same-name grandparent identified by Q5 (shared sibling);
+    // (x4, x5) are merge children identified by Q4 (shared other parent).
+    NodeId gp = named("company", "dup_corp_" + tag);   // grandparent
+    NodeId m1 = named("company", "dup_corp_" + tag);
+    NodeId m2 = named("company", "dup_corp_" + tag);
+    NodeId sib = named("company", uniq("corp"));       // shared sibling
+    (void)g.AddTriple(gp, "parent_of", m1);
+    (void)g.AddTriple(gp, "parent_of", m2);
+    (void)g.AddTriple(gp, "parent_of", sib);
+    AddPlanted(ds, m1, m2);
+    NodeId oth = named("company", uniq("corp"));       // the other parent
+    NodeId x4 = named("company", "dup_corp_" + tag);   // merged child
+    NodeId x5 = named("company", "dup_corp_" + tag);   // merged child
+    (void)g.AddTriple(m1, "parent_of", x4);
+    (void)g.AddTriple(m2, "parent_of", x5);
+    (void)g.AddTriple(oth, "parent_of", x4);
+    (void)g.AddTriple(oth, "parent_of", x5);
+    AddPlanted(ds, x4, x5);
+
+    // ---- Company chain through F7_CompanyByCeoParent: subsidiary pair
+    // resolves only after its parent pair (m1, m2) does (c = 2).
+    NodeId sub1 = named("company", "dup_sub_" + tag);
+    NodeId sub2 = named("company", "dup_sub_" + tag);
+    NodeId ceo1 = named("person", "dup_ceo_" + tag);
+    NodeId ceo2 = named("person", "dup_ceo_" + tag);
+    (void)g.AddTriple(sub1, "CEO", ceo1);
+    (void)g.AddTriple(sub2, "CEO", ceo2);
+    (void)g.AddTriple(sub1, "parent_company", m1);
+    (void)g.AddTriple(sub2, "parent_company", m2);
+    AddPlanted(ds, sub1, sub2);
+
+    // ---- Book cluster (Fig. 7): location pair -> artist pair (by birth)
+    // -> book pair (by cover artist + publisher wildcard): c = 3.
+    NodeId l1 = named("location", "dup_loc_" + tag);
+    NodeId l2 = named("location", "dup_loc_" + tag);
+    (void)g.AddTriple(l1, "country_of", g.AddValue("cc" + tag));
+    (void)g.AddTriple(l2, "country_of", g.AddValue("cc" + tag));
+    AddPlanted(ds, l1, l2);
+    NodeId p1 = named("artist", "dup_painter_" + tag);
+    NodeId p2 = named("artist", "dup_painter_" + tag);
+    (void)g.AddTriple(p1, "birth_date", g.AddValue("bdate" + tag));
+    (void)g.AddTriple(p2, "birth_date", g.AddValue("bdate" + tag));
+    (void)g.AddTriple(p1, "birth_place", l1);
+    (void)g.AddTriple(p2, "birth_place", l2);
+    AddPlanted(ds, p1, p2);
+    NodeId k1 = named("book", "dup_book_" + tag);
+    NodeId k2 = named("book", "dup_book_" + tag);
+    NodeId pub1 = named("company", uniq("corp"));
+    NodeId pub2 = named("company", uniq("corp"));
+    (void)g.AddTriple(k1, "cover_artist", p1);
+    (void)g.AddTriple(k2, "cover_artist", p2);
+    (void)g.AddTriple(k1, "publisher", pub1);
+    (void)g.AddTriple(k2, "publisher", pub2);
+    (void)g.AddTriple(pub1, "employer_of", p1);
+    (void)g.AddTriple(pub2, "employer_of", p2);
+    AddPlanted(ds, k1, k2);
+
+    // ---- Address cluster (Q6): two UK streets sharing a zip code are
+    // the same street; the same zip in the US must NOT identify.
+    NodeId s1 = g.AddEntity("street");
+    NodeId s2 = g.AddEntity("street");
+    (void)g.AddTriple(s1, "zip_code", g.AddValue("dupzip_" + tag));
+    (void)g.AddTriple(s2, "zip_code", g.AddValue("dupzip_" + tag));
+    (void)g.AddTriple(s1, "nation_of", g.AddValue("UK"));
+    (void)g.AddTriple(s2, "nation_of", g.AddValue("UK"));
+    AddPlanted(ds, s1, s2);
+    NodeId us1 = g.AddEntity("street");
+    NodeId us2 = g.AddEntity("street");
+    (void)g.AddTriple(us1, "zip_code", g.AddValue("uszip_" + tag));
+    (void)g.AddTriple(us2, "zip_code", g.AddValue("uszip_" + tag));
+    (void)g.AddTriple(us1, "nation_of", g.AddValue("US"));
+    (void)g.AddTriple(us2, "nation_of", g.AddValue("US"));
+  }
+
+  g.Finalize();
+  std::sort(ds.planted.begin(), ds.planted.end());
+  return ds;
+}
+
+}  // namespace gkeys

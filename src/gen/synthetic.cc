@@ -1,0 +1,177 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "common/rng.h"
+
+namespace gkeys {
+
+namespace {
+
+/// Builds the DSL for one key. Level `i` of chain `group`; recursive keys
+/// get a `ref` edge to the next level, the leaf key gets a second value
+/// path instead.
+std::string KeyDsl(int group, int level, int chain_length, int d) {
+  std::string type = "T_" + std::to_string(group) + "_" + std::to_string(level);
+  std::string name = "K_" + std::to_string(group) + "_" + std::to_string(level);
+  auto path = [&](int path_id) {
+    // x -[a_<g>_<i>_<p>_0]-> _q<p>1:AUX_1 -[..._1]-> … -> v<p>*
+    std::string pred_base = "a_" + std::to_string(group) + "_" +
+                            std::to_string(level) + "_" +
+                            std::to_string(path_id) + "_";
+    std::string out;
+    std::string prev = "x";
+    for (int hop = 0; hop < d - 1; ++hop) {
+      std::string aux = "_q" + std::to_string(path_id) + std::to_string(hop);
+      out += "  " + prev + " -[" + pred_base + std::to_string(hop) + "]-> " +
+             aux + ":AUX_" + std::to_string(hop + 1) + "\n";
+      prev = aux;
+    }
+    out += "  " + prev + " -[" + pred_base + std::to_string(d - 1) + "]-> v" +
+           std::to_string(path_id) + "*\n";
+    return out;
+  };
+  std::string dsl = "key " + name + " for " + type + " {\n" + path(0);
+  if (level < chain_length - 1) {
+    dsl += "  x -[ref_" + std::to_string(group) + "_" +
+           std::to_string(level) + "]-> y:T_" + std::to_string(group) + "_" +
+           std::to_string(level + 1) + "\n";
+  } else {
+    dsl += path(1);
+  }
+  dsl += "}\n";
+  return dsl;
+}
+
+}  // namespace
+
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
+  SyntheticDataset ds;
+  Rng rng(config.seed);
+
+  const int c = std::max(1, config.chain_length);
+  const int d = std::max(1, config.radius);
+  const int groups = std::max(1, config.num_groups);
+  const int n = std::max(
+      2, static_cast<int>(config.entities_per_type * config.scale));
+  int dup_clusters = static_cast<int>(n * config.duplicate_fraction / 2);
+  if (config.duplicate_fraction > 0 && dup_clusters == 0) dup_clusters = 1;
+  const int singles = std::max(0, n - 2 * dup_clusters);
+
+  // ---- Keys ----
+  std::string dsl;
+  for (int gi = 0; gi < groups; ++gi) {
+    for (int lv = 0; lv < c; ++lv) dsl += KeyDsl(gi, lv, c, d);
+  }
+  Status st = ds.keys.AddFromDsl(dsl);
+  assert(st.ok());
+  (void)st;
+
+  Graph& g = ds.graph;
+  int unique_counter = 0;
+
+  // Attaches a radius-d value path ending at `value` to entity `e`.
+  auto attach_path = [&](NodeId e, int group, int level, int path_id,
+                         const std::string& value) {
+    std::string pred_base = "a_" + std::to_string(group) + "_" +
+                            std::to_string(level) + "_" +
+                            std::to_string(path_id) + "_";
+    NodeId prev = e;
+    for (int hop = 0; hop < d - 1; ++hop) {
+      NodeId aux = g.AddEntity("AUX_" + std::to_string(hop + 1));
+      (void)g.AddTriple(prev, pred_base + std::to_string(hop), aux);
+      prev = aux;
+    }
+    (void)g.AddTriple(prev, pred_base + std::to_string(d - 1),
+                      g.AddValue(value));
+  };
+
+  // Builds one entity of T_<group>_<level> with its key structure.
+  // `v0` is the shared (or unique) first attribute value; leaves get a
+  // second attribute `v1`.
+  auto make_entity = [&](int group, int level, const std::string& v0,
+                         const std::string& v1) {
+    std::string type =
+        "T_" + std::to_string(group) + "_" + std::to_string(level);
+    NodeId e = g.AddEntity(type);
+    attach_path(e, group, level, 0, v0);
+    if (level == c - 1) attach_path(e, group, level, 1, v1);
+    return e;
+  };
+
+  auto uniq = [&](const char* prefix) {
+    return std::string(prefix) + "_" + std::to_string(unique_counter++);
+  };
+
+  for (int gi = 0; gi < groups; ++gi) {
+    // Built leaf-level first so references can point downward.
+    // per level: the entities, in creation order.
+    std::vector<std::vector<NodeId>> level_entities(c);
+    // Cluster entity handles: cluster j -> (a, b) per level.
+    std::vector<std::vector<std::pair<NodeId, NodeId>>> cluster(c);
+
+    for (int lv = c - 1; lv >= 0; --lv) {
+      cluster[lv].resize(dup_clusters);
+      std::string ref_pred =
+          "ref_" + std::to_string(gi) + "_" + std::to_string(lv);
+      // Duplicate clusters: a and b share attribute values.
+      for (int j = 0; j < dup_clusters; ++j) {
+        std::string v0 = "dv_" + std::to_string(gi) + "_" +
+                         std::to_string(j) + "_" + std::to_string(lv);
+        std::string v1 = "dw_" + std::to_string(gi) + "_" + std::to_string(j);
+        NodeId a = make_entity(gi, lv, v0, v1);
+        NodeId b = make_entity(gi, lv, v0, v1);
+        cluster[lv][j] = {a, b};
+        level_entities[lv].push_back(a);
+        level_entities[lv].push_back(b);
+        if (a > b) std::swap(a, b);
+        ds.planted.emplace_back(a, b);
+        if (lv < c - 1) {
+          auto [na, nb] = cluster[lv + 1][j];
+          bool chained = rng.Chance(config.chained_fraction);
+          if (chained) {
+            // Resolves only after the next level's pair resolves.
+            (void)g.AddTriple(cluster[lv][j].first, ref_pred, na);
+            (void)g.AddTriple(cluster[lv][j].second, ref_pred, nb);
+          } else {
+            // Shared target: resolves immediately via node identity.
+            (void)g.AddTriple(cluster[lv][j].first, ref_pred, na);
+            (void)g.AddTriple(cluster[lv][j].second, ref_pred, na);
+          }
+        }
+      }
+      // Singles: unique values, random downward references.
+      for (int s = 0; s < singles; ++s) {
+        NodeId e = make_entity(gi, lv, uniq("sv"), uniq("sw"));
+        level_entities[lv].push_back(e);
+        if (lv < c - 1) {
+          const auto& below = level_entities[lv + 1];
+          (void)g.AddTriple(e, ref_pred, below[rng.Below(below.size())]);
+        }
+      }
+    }
+
+    // Noise edges: predicates disjoint from the key alphabet.
+    if (config.noise_edges_per_entity > 0) {
+      int npreds = std::max(1, config.noise_predicates);
+      for (const auto& level : level_entities) {
+        for (NodeId e : level) {
+          for (int k = 0; k < config.noise_edges_per_entity; ++k) {
+            std::string pred = "noise_" + std::to_string(rng.Below(npreds));
+            NodeId v = g.AddValue("nv_" + std::to_string(rng.Below(
+                                              static_cast<uint64_t>(n) * c)));
+            (void)g.AddTriple(e, pred, v);
+          }
+        }
+      }
+    }
+  }
+
+  g.Finalize();
+  std::sort(ds.planted.begin(), ds.planted.end());
+  return ds;
+}
+
+}  // namespace gkeys

@@ -1,0 +1,72 @@
+#ifndef GKEYS_GEN_SYNTHETIC_H_
+#define GKEYS_GEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "keys/key.h"
+
+namespace gkeys {
+
+/// Controls for the synthetic graph + key generator (paper §6,
+/// "Experimental setting"). The generator and its key generator share a
+/// schema, so the produced Σ is guaranteed to be meaningful on the
+/// produced G, and the planted duplicates are the exact ground truth.
+///
+/// Schema: `num_groups` independent dependency chains of keyed entity
+/// types T_{g,0} → T_{g,1} → … → T_{g,c-1} (c = chain_length, the paper's
+/// longest-dependency-chain parameter). The key for T_{g,i}, i < c-1 is
+/// recursive:
+///
+///     key K_g_i for T_g_i {
+///       x -[a_g_i_1]-> _w1:A_1 … -[a_g_i_d]-> v*   # radius-d value path
+///       x -[ref_g_i]-> y:T_g_{i+1}                  # recursive reference
+///     }
+///
+/// and the chain's last key is value-based (two radius-d value paths).
+/// Every entity carries the full key structure; non-duplicates get unique
+/// values so the planted pairs are exactly chase(G, Σ) (tests rely on
+/// this).
+struct SyntheticConfig {
+  uint64_t seed = 42;
+  /// Number of type chains; total keys = num_groups * chain_length.
+  int num_groups = 4;
+  /// c: length of the dependency chains (1 = all keys value-based).
+  int chain_length = 2;
+  /// d: radius of every key (length of the value paths).
+  int radius = 2;
+  /// Entities per keyed type before scaling.
+  int entities_per_type = 40;
+  /// Fraction of entities that receive a planted duplicate.
+  double duplicate_fraction = 0.15;
+  /// Of the planted duplicates at non-leaf levels, the fraction resolved
+  /// through a full dependency chain (the rest share their reference
+  /// target and resolve immediately through node identity).
+  double chained_fraction = 0.5;
+  /// Uniform random extra edges per entity, with predicates outside the
+  /// key alphabet (noise the matcher must look past).
+  int noise_edges_per_entity = 2;
+  /// Number of distinct noise predicates.
+  int noise_predicates = 20;
+  /// Multiplies entities_per_type (the Exp-2 scale factor).
+  double scale = 1.0;
+};
+
+/// A generated workload: graph, keys, and the exact expected output of
+/// entity matching.
+struct SyntheticDataset {
+  Graph graph;
+  KeySet keys;
+  /// Ground truth: the directly planted duplicate pairs (each entity is in
+  /// at most one pair, so this equals chase(G, Σ)), sorted.
+  std::vector<std::pair<NodeId, NodeId>> planted;
+};
+
+/// Generates a dataset; deterministic in the config (including seed).
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_GEN_SYNTHETIC_H_

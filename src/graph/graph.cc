@@ -1,0 +1,100 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace gkeys {
+
+NodeId Graph::AddEntity(Symbol type) {
+  NodeId id = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(NodeKind::kEntity);
+  labels_.push_back(type);
+  out_.emplace_back();
+  in_.emplace_back();
+  by_type_[type].push_back(id);
+  ++num_entities_;
+  finalized_ = false;
+  return id;
+}
+
+NodeId Graph::AddValue(std::string_view value) {
+  Symbol sym = interner_.Intern(value);
+  auto it = value_nodes_.find(sym);
+  if (it != value_nodes_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(kinds_.size());
+  kinds_.push_back(NodeKind::kValue);
+  labels_.push_back(sym);
+  out_.emplace_back();
+  in_.emplace_back();
+  value_nodes_.emplace(sym, id);
+  finalized_ = false;
+  return id;
+}
+
+Status Graph::AddTriple(NodeId s, Symbol p, NodeId o) {
+  if (s >= kinds_.size() || o >= kinds_.size()) {
+    return Status::InvalidArgument("AddTriple: node id out of range");
+  }
+  if (!IsEntity(s)) {
+    return Status::InvalidArgument("AddTriple: subject must be an entity");
+  }
+  out_[s].push_back(Edge{p, o});
+  in_[o].push_back(Edge{p, s});
+  ++num_triples_;
+  finalized_ = false;
+  return Status::OK();
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  size_t triples = 0;
+  for (auto& adj : out_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    triples += adj.size();
+  }
+  for (auto& adj : in_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  num_triples_ = triples;
+  finalized_ = true;
+}
+
+bool Graph::HasTriple(NodeId s, Symbol p, NodeId o) const {
+  const auto& adj = out_[s];
+  Edge target{p, o};
+  if (finalized_) {
+    return std::binary_search(adj.begin(), adj.end(), target);
+  }
+  return std::find(adj.begin(), adj.end(), target) != adj.end();
+}
+
+std::span<const NodeId> Graph::EntitiesOfType(Symbol type) const {
+  auto it = by_type_.find(type);
+  if (it == by_type_.end()) return {};
+  return it->second;
+}
+
+NodeId Graph::FindValue(std::string_view value) const {
+  Symbol sym = interner_.Lookup(value);
+  if (sym == kNoSymbol) return kNoNode;
+  auto it = value_nodes_.find(sym);
+  return it == value_nodes_.end() ? kNoNode : it->second;
+}
+
+std::vector<Symbol> Graph::EntityTypes() const {
+  std::vector<Symbol> types;
+  types.reserve(by_type_.size());
+  for (const auto& [type, nodes] : by_type_) {
+    if (!nodes.empty()) types.push_back(type);
+  }
+  std::sort(types.begin(), types.end());
+  return types;
+}
+
+std::string Graph::DescribeNode(NodeId n) const {
+  if (IsValue(n)) return "\"" + value_str(n) + "\"";
+  return interner_.Resolve(entity_type(n)) + "#" + std::to_string(n);
+}
+
+}  // namespace gkeys

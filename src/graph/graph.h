@@ -1,0 +1,169 @@
+#ifndef GKEYS_GRAPH_GRAPH_H_
+#define GKEYS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+
+namespace gkeys {
+
+/// Node identifier within a Graph. Entities and values share one id space.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+/// A node is either an entity (has a type from Θ and a unique id) or a
+/// value from D (paper §2.1). Two entities are the same node iff they have
+/// the same ID (node identity ⇔); equal values are represented by one node
+/// (value equality =).
+enum class NodeKind : uint8_t { kEntity, kValue };
+
+/// One directed labeled edge in an adjacency list.
+struct Edge {
+  Symbol pred;
+  NodeId dst;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.pred == b.pred && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.pred != b.pred ? a.pred < b.pred : a.dst < b.dst;
+  }
+};
+
+/// One triple (s, p, o): subject entity, predicate, object entity-or-value.
+struct Triple {
+  NodeId subject;
+  Symbol pred;
+  NodeId object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.pred == b.pred && a.object == b.object;
+  }
+};
+
+/// A directed edge-labeled graph over triples (paper §2.1).
+///
+/// Construction: AddEntity / AddValue / AddTriple, then Finalize() once.
+/// Finalize() sorts adjacency lists (enabling O(log deg) triple lookup),
+/// deduplicates parallel edges, and freezes the graph for queries. All
+/// algorithm entry points require a finalized graph.
+///
+/// Strings (types, predicates, values) are interned in a per-graph
+/// StringInterner so they compare by integer.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Copyable (tests/generators duplicate graphs); moves are cheap.
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // ---- Construction ----
+
+  /// Interns a string in this graph's symbol table.
+  Symbol Intern(std::string_view s) { return interner_.Intern(s); }
+
+  /// Adds a fresh entity node of the given type. Every call creates a new
+  /// entity (entities are identified by NodeId, not by their labels).
+  NodeId AddEntity(Symbol type);
+  NodeId AddEntity(std::string_view type) { return AddEntity(Intern(type)); }
+
+  /// Adds (or returns the existing) value node for a literal. Equal values
+  /// map to the same node, per value equality.
+  NodeId AddValue(std::string_view value);
+
+  /// Adds triple (s, p, o). The subject must be an entity node.
+  Status AddTriple(NodeId s, Symbol p, NodeId o);
+  Status AddTriple(NodeId s, std::string_view p, NodeId o) {
+    return AddTriple(s, Intern(p), o);
+  }
+
+  /// Sorts and deduplicates adjacency, freezes the graph. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- Queries ----
+
+  size_t NumNodes() const { return kinds_.size(); }
+  size_t NumEntities() const { return num_entities_; }
+  size_t NumValues() const { return NumNodes() - num_entities_; }
+  /// |G|: number of triples.
+  size_t NumTriples() const { return num_triples_; }
+
+  NodeKind kind(NodeId n) const { return kinds_[n]; }
+  bool IsEntity(NodeId n) const { return kinds_[n] == NodeKind::kEntity; }
+  bool IsValue(NodeId n) const { return kinds_[n] == NodeKind::kValue; }
+
+  /// Entity type symbol; kNoSymbol for value nodes.
+  Symbol entity_type(NodeId n) const { return labels_[n]; }
+
+  /// Literal symbol of a value node; kNoSymbol for entities.
+  Symbol value_sym(NodeId n) const {
+    return IsValue(n) ? labels_[n] : kNoSymbol;
+  }
+
+  /// Literal string of a value node.
+  const std::string& value_str(NodeId n) const {
+    return interner_.Resolve(labels_[n]);
+  }
+
+  /// Outgoing / incoming labeled edges of a node (sorted after Finalize()).
+  std::span<const Edge> Out(NodeId n) const { return out_[n]; }
+  std::span<const Edge> In(NodeId n) const { return in_[n]; }
+
+  size_t OutDegree(NodeId n) const { return out_[n].size(); }
+  size_t InDegree(NodeId n) const { return in_[n].size(); }
+
+  /// Whether triple (s, p, o) is in G. O(log deg) after Finalize().
+  bool HasTriple(NodeId s, Symbol p, NodeId o) const;
+
+  /// Entities of a given type (empty if none). Stable insertion order.
+  std::span<const NodeId> EntitiesOfType(Symbol type) const;
+
+  /// Looks up the node for a literal value, or kNoNode.
+  NodeId FindValue(std::string_view value) const;
+
+  /// All entity types present in the graph.
+  std::vector<Symbol> EntityTypes() const;
+
+  /// Invokes fn(Triple) for every triple.
+  template <typename Fn>
+  void ForEachTriple(Fn&& fn) const {
+    for (NodeId s = 0; s < out_.size(); ++s) {
+      for (const Edge& e : out_[s]) fn(Triple{s, e.pred, e.dst});
+    }
+  }
+
+  const StringInterner& interner() const { return interner_; }
+  StringInterner& interner() { return interner_; }
+
+  /// Human-readable node description for logging and examples.
+  std::string DescribeNode(NodeId n) const;
+
+ private:
+  StringInterner interner_;
+  std::vector<NodeKind> kinds_;
+  // Entity type symbol for entities; literal symbol for values.
+  std::vector<Symbol> labels_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::unordered_map<Symbol, NodeId> value_nodes_;
+  std::unordered_map<Symbol, std::vector<NodeId>> by_type_;
+  size_t num_entities_ = 0;
+  size_t num_triples_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace gkeys
+
+#endif  // GKEYS_GRAPH_GRAPH_H_

@@ -1,0 +1,41 @@
+#include "graph/merge.h"
+
+#include "eq/equivalence.h"
+
+namespace gkeys {
+
+FusionResult FuseEntities(
+    const Graph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& identified_pairs) {
+  EquivalenceRelation classes(g.NumNodes());
+  for (auto [a, b] : identified_pairs) classes.Union(a, b);
+
+  FusionResult out;
+  out.node_map.assign(g.NumNodes(), kNoNode);
+  // One pass in id order: the smallest member of each class (its root
+  // visit order) becomes the representative, so output ids are stable.
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    NodeId root = classes.Find(n);
+    if (out.node_map[root] == kNoNode) {
+      // First member of this class seen: materialize the node.
+      if (g.IsEntity(n)) {
+        out.node_map[root] = out.graph.AddEntity(
+            g.interner().Resolve(g.entity_type(n)));
+      } else {
+        out.node_map[root] = out.graph.AddValue(g.value_str(n));
+      }
+    } else if (g.IsEntity(n)) {
+      ++out.entities_fused;
+    }
+    out.node_map[n] = out.node_map[root];
+  }
+  g.ForEachTriple([&](const Triple& t) {
+    (void)out.graph.AddTriple(out.node_map[t.subject],
+                              g.interner().Resolve(t.pred),
+                              out.node_map[t.object]);
+  });
+  out.graph.Finalize();  // deduplicates the parallel fused triples
+  return out;
+}
+
+}  // namespace gkeys

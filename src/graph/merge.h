@@ -1,0 +1,34 @@
+#ifndef GKEYS_GRAPH_MERGE_H_
+#define GKEYS_GRAPH_MERGE_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gkeys {
+
+/// Result of fusing identified entities into single nodes.
+struct FusionResult {
+  Graph graph;
+  /// old NodeId -> new NodeId. All members of one equivalence class map
+  /// to the same new node.
+  std::vector<NodeId> node_map;
+  /// Number of entity nodes eliminated by fusion.
+  size_t entities_fused = 0;
+};
+
+/// Contracts each equivalence class induced by `identified_pairs` (the
+/// output of entity matching) into a single entity, deduplicating the
+/// resulting parallel triples — the "fuse information from different
+/// sources that refers to the same entity" step of knowledge fusion
+/// (paper §1). The fused entity carries the union of all class members'
+/// triples. Pairs must connect same-type entities (as produced by the
+/// matcher); the representative keeps that type.
+FusionResult FuseEntities(
+    const Graph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& identified_pairs);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_GRAPH_MERGE_H_

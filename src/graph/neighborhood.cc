@@ -1,0 +1,44 @@
+#include "graph/neighborhood.h"
+
+#include <deque>
+
+namespace gkeys {
+
+NodeSet DNeighbor(const Graph& g, NodeId center, int d) {
+  NodeSet result;
+  result.Insert(center);
+  if (d <= 0) return result;
+  std::deque<std::pair<NodeId, int>> frontier;
+  frontier.emplace_back(center, 0);
+  while (!frontier.empty()) {
+    auto [n, dist] = frontier.front();
+    frontier.pop_front();
+    if (dist >= d) continue;
+    for (const Edge& e : g.Out(n)) {
+      if (!result.Contains(e.dst)) {
+        result.Insert(e.dst);
+        frontier.emplace_back(e.dst, dist + 1);
+      }
+    }
+    for (const Edge& e : g.In(n)) {
+      if (!result.Contains(e.dst)) {
+        result.Insert(e.dst);
+        frontier.emplace_back(e.dst, dist + 1);
+      }
+    }
+  }
+  return result;
+}
+
+size_t InducedTripleCount(const Graph& g, const NodeSet& nodes) {
+  size_t count = 0;
+  for (NodeId n : nodes) {
+    if (!g.IsEntity(n)) continue;
+    for (const Edge& e : g.Out(n)) {
+      if (nodes.Contains(e.dst)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace gkeys

@@ -1,0 +1,65 @@
+#ifndef GKEYS_GRAPH_NEIGHBORHOOD_H_
+#define GKEYS_GRAPH_NEIGHBORHOOD_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gkeys {
+
+/// A subset of the nodes of a graph, used to represent induced subgraphs
+/// such as the d-neighbor Gd of an entity (paper §4.1). A triple (s, p, o)
+/// belongs to the induced subgraph iff s and o are members and (s, p, o)
+/// is a triple of the underlying graph.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(std::vector<NodeId> nodes) {
+    members_.insert(nodes.begin(), nodes.end());
+  }
+
+  void Insert(NodeId n) { members_.insert(n); }
+  bool Contains(NodeId n) const { return members_.count(n) > 0; }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// Set union, in place.
+  void UnionWith(const NodeSet& other) {
+    members_.insert(other.members_.begin(), other.members_.end());
+  }
+
+  /// Keeps only members also present in `other`.
+  void IntersectWith(const NodeSet& other) {
+    for (auto it = members_.begin(); it != members_.end();) {
+      if (!other.Contains(*it)) {
+        it = members_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::vector<NodeId> ToVector() const {
+    return std::vector<NodeId>(members_.begin(), members_.end());
+  }
+
+  auto begin() const { return members_.begin(); }
+  auto end() const { return members_.end(); }
+
+ private:
+  std::unordered_set<NodeId> members_;
+};
+
+/// Computes the d-neighbor of `center`: all nodes within `d` hops of
+/// `center`, treating edges as undirected (paper §4.1). The center itself
+/// is always included. `d` ≥ 0.
+NodeSet DNeighbor(const Graph& g, NodeId center, int d);
+
+/// Number of triples of `g` induced by `nodes` (|Gd| in the paper's cost
+/// analysis; used by the optimization-effectiveness benchmarks).
+size_t InducedTripleCount(const Graph& g, const NodeSet& nodes);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_GRAPH_NEIGHBORHOOD_H_

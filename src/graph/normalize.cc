@@ -1,0 +1,83 @@
+#include "graph/normalize.h"
+
+#include <cctype>
+
+namespace gkeys {
+
+namespace normalizers {
+
+std::string Lowercase(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string CollapseWhitespace(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // also trims leading whitespace
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string AlphaNumericOnly(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace normalizers
+
+ValueNormalizer ComposeNormalizers(std::vector<ValueNormalizer> fns) {
+  return [fns = std::move(fns)](const std::string& s) {
+    std::string cur = s;
+    for (const auto& fn : fns) cur = fn(cur);
+    return cur;
+  };
+}
+
+NormalizedGraph NormalizeValues(const Graph& g, const ValueNormalizer& fn) {
+  NormalizedGraph out;
+  out.node_map.assign(g.NumNodes(), kNoNode);
+  size_t distinct_values = 0;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.IsEntity(n)) {
+      out.node_map[n] = out.graph.AddEntity(
+          g.interner().Resolve(g.entity_type(n)));
+    } else {
+      size_t before = out.graph.NumValues();
+      out.node_map[n] = out.graph.AddValue(fn(g.value_str(n)));
+      if (out.graph.NumValues() == before) {
+        ++out.values_merged;  // canonical form already present
+      } else {
+        ++distinct_values;
+      }
+    }
+  }
+  (void)distinct_values;
+  g.ForEachTriple([&](const Triple& t) {
+    (void)out.graph.AddTriple(out.node_map[t.subject],
+                              g.interner().Resolve(t.pred),
+                              out.node_map[t.object]);
+  });
+  out.graph.Finalize();
+  return out;
+}
+
+}  // namespace gkeys

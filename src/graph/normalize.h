@@ -1,0 +1,52 @@
+#ifndef GKEYS_GRAPH_NORMALIZE_H_
+#define GKEYS_GRAPH_NORMALIZE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gkeys {
+
+/// Maps a literal to its canonical form. Values whose canonical forms are
+/// equal are treated as the same value node.
+using ValueNormalizer = std::function<std::string(const std::string&)>;
+
+/// Built-in normalizers, composable with ComposeNormalizers.
+namespace normalizers {
+
+/// ASCII lower-casing.
+std::string Lowercase(const std::string& s);
+
+/// Strips leading/trailing whitespace and collapses internal runs.
+std::string CollapseWhitespace(const std::string& s);
+
+/// Drops every non-alphanumeric character (aggressive fuzzy matching).
+std::string AlphaNumericOnly(const std::string& s);
+
+}  // namespace normalizers
+
+/// Composes normalizers left to right.
+ValueNormalizer ComposeNormalizers(std::vector<ValueNormalizer> fns);
+
+/// Result of normalizing a graph's values.
+struct NormalizedGraph {
+  Graph graph;
+  /// old NodeId -> new NodeId (entities map 1:1; values may merge).
+  std::vector<NodeId> node_map;
+  /// Number of value nodes merged away.
+  size_t values_merged = 0;
+};
+
+/// Rebuilds `g` with every literal replaced by its canonical form, merging
+/// values that normalize identically. This implements the paper's §2.2
+/// remark — "the results remain intact when similarity predicates are
+/// used along the same lines as value equality" — by reducing similarity
+/// matching to value equality via canonicalization: run NormalizeValues
+/// first, then match on the normalized graph.
+NormalizedGraph NormalizeValues(const Graph& g, const ValueNormalizer& fn);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_GRAPH_NORMALIZE_H_

@@ -1,0 +1,33 @@
+#ifndef GKEYS_IO_TRIPLES_H_
+#define GKEYS_IO_TRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace gkeys {
+
+/// Text serialization of a graph, one triple per line in an N-Triples-like
+/// format:
+///
+///     ent:<type>:<local-id> <predicate> ent:<type>:<local-id>
+///     ent:<type>:<local-id> <predicate> val:"literal"
+///
+/// Local ids are per-type counters assigned at save time; loading assigns
+/// fresh NodeIds but preserves structure, types, predicates, and values
+/// (round-trip is isomorphism, verified by tests). Quotes and backslashes
+/// inside literals are backslash-escaped.
+std::string SerializeGraph(const Graph& g);
+
+/// Parses the format above into a finalized graph.
+StatusOr<Graph> DeserializeGraph(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveGraph(const Graph& g, const std::string& path);
+StatusOr<Graph> LoadGraph(const std::string& path);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_IO_TRIPLES_H_

@@ -1,0 +1,48 @@
+#ifndef GKEYS_ISOMORPH_PAIRING_H_
+#define GKEYS_ISOMORPH_PAIRING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/neighborhood.h"
+#include "pattern/pattern.h"
+
+namespace gkeys {
+
+/// Result of the maximum-pairing computation (paper Prop. 9).
+struct PairingResult {
+  /// Whether (e1, e2, x) survives in the maximum pairing relation, i.e.,
+  /// (e1, e2) can be paired by Q. Pairing is a *necessary* condition for
+  /// identification, so `false` proves (G, {Q}) ⊭ (e1, e2).
+  bool paired = false;
+  /// Nodes of Gd1 / Gd2 appearing in the maximum pairing relation. The
+  /// §4.2 optimization replaces the d-neighbors by the subgraphs these
+  /// induce.
+  NodeSet reduced1;
+  NodeSet reduced2;
+  /// |P^Q|: size of the maximum pairing relation.
+  size_t relation_size = 0;
+  /// When requested, every surviving pair packed as (first << 32 | second),
+  /// deduplicated across pattern nodes. The product-graph builder (§5.1)
+  /// consumes these to form Vp.
+  std::vector<uint64_t> pairs;
+};
+
+/// Packs a product pair the way PairingResult::pairs stores it.
+inline uint64_t PackPair(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Computes the maximum pairing relation P^Q of Q at (e1, e2) over the
+/// d-neighbors (n1, n2) by fixpoint pruning, in O(|Q|·|Gd1|·|Gd2|) per
+/// Prop. 9: start from all locally type/value-compatible triples
+/// (s1, s2, s_Q) and repeatedly delete triples missing a required witness
+/// along some pattern edge, until stable.
+PairingResult ComputeMaxPairing(const Graph& g, const CompiledPattern& cp,
+                                NodeId e1, NodeId e2, const NodeSet& n1,
+                                const NodeSet& n2,
+                                bool collect_pairs = false);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_ISOMORPH_PAIRING_H_

@@ -1,0 +1,159 @@
+#include "isomorph/vf2.h"
+
+namespace gkeys {
+
+namespace {
+
+/// One single-sided enumeration.
+struct Vf2Context {
+  const Graph& g;
+  const CompiledPattern& cp;
+  const NodeSet* restrict_to;
+  size_t max_matches;
+  SearchStats* stats;
+  Valuation m;  // pattern node -> graph node, kNoNode == unmapped
+  std::vector<Valuation>* out;
+
+  bool InSide(NodeId n) const {
+    return restrict_to == nullptr || restrict_to->Contains(n);
+  }
+  bool TripleInSide(NodeId s, Symbol p, NodeId o) const {
+    return InSide(s) && InSide(o) && g.HasTriple(s, p, o);
+  }
+
+  /// VF2 feasibility: kind/type/constant consistency, injectivity, and all
+  /// adjacent already-mapped pattern triples realized in the graph.
+  bool Feasible(int v, NodeId c) {
+    if (stats != nullptr) ++stats->feasibility_checks;
+    const CompiledNode& pn = cp.nodes[v];
+    switch (pn.kind) {
+      case VarKind::kDesignated:
+        return false;
+      case VarKind::kEntityVar:
+      case VarKind::kWildcard:
+        if (!g.IsEntity(c) || g.entity_type(c) != pn.type) return false;
+        break;
+      case VarKind::kValueVar:
+        if (!g.IsValue(c)) return false;
+        break;
+      case VarKind::kConstant:
+        if (c != pn.constant_node) return false;
+        break;
+    }
+    if (!InSide(c)) return false;
+    for (NodeId used : m) {
+      if (used == c) return false;
+    }
+    for (int t : cp.incident[v]) {
+      const CompiledTriple& ct = cp.triples[t];
+      int other = ct.subject == v ? ct.object : ct.subject;
+      NodeId s, o;
+      if (other == v) {
+        s = c; o = c;
+      } else if (ct.subject == v) {
+        if (m[other] == kNoNode) continue;
+        s = c; o = m[other];
+      } else {
+        if (m[other] == kNoNode) continue;
+        s = m[other]; o = c;
+      }
+      if (!TripleInSide(s, ct.pred, o)) return false;
+    }
+    return true;
+  }
+
+  /// Exhaustive: records every full valuation (no early termination).
+  void Enumerate(size_t step) {
+    if (max_matches != 0 && out->size() >= max_matches) return;
+    if (step == cp.plan.size()) {
+      if (stats != nullptr) ++stats->full_instantiations;
+      out->push_back(m);
+      return;
+    }
+    const SearchStep& ss = cp.plan[step];
+    const CompiledTriple& ct = cp.triples[ss.via_triple];
+    int anchor = ss.forward ? ct.subject : ct.object;
+    NodeId a = m[anchor];
+    const auto edges = ss.forward ? g.Out(a) : g.In(a);
+    for (const Edge& e : edges) {
+      if (e.pred != ct.pred) continue;
+      if (stats != nullptr) ++stats->expansions;
+      if (!Feasible(ss.node, e.dst)) continue;
+      m[ss.node] = e.dst;
+      Enumerate(step + 1);
+      m[ss.node] = kNoNode;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Valuation> EnumerateMatches(const Graph& g,
+                                        const CompiledPattern& cp, NodeId e,
+                                        const NodeSet* restrict_to,
+                                        size_t max_matches,
+                                        SearchStats* stats) {
+  std::vector<Valuation> out;
+  if (!cp.matchable) return out;
+  const CompiledNode& x = cp.nodes[cp.designated];
+  if (!g.IsEntity(e) || g.entity_type(e) != x.type) return out;
+  Vf2Context ctx{g,
+                 cp,
+                 restrict_to,
+                 max_matches,
+                 stats,
+                 Valuation(cp.nodes.size(), kNoNode),
+                 &out};
+  if (!ctx.InSide(e)) return out;
+  ctx.m[cp.designated] = e;
+  for (int t : cp.incident[cp.designated]) {
+    const CompiledTriple& ct = cp.triples[t];
+    if (ct.subject == cp.designated && ct.object == cp.designated) {
+      if (!ctx.TripleInSide(e, ct.pred, e)) return out;
+    }
+  }
+  ctx.Enumerate(0);
+  return out;
+}
+
+bool Coincide(const Graph& g, const CompiledPattern& cp, const Valuation& v1,
+              const Valuation& v2, const EqView& eq) {
+  (void)g;
+  for (size_t i = 0; i < cp.nodes.size(); ++i) {
+    if (static_cast<int>(i) == cp.designated) continue;
+    switch (cp.nodes[i].kind) {
+      case VarKind::kEntityVar:
+        if (!eq.Same(v1[i], v2[i])) return false;
+        break;
+      case VarKind::kValueVar:
+        if (v1[i] != v2[i]) return false;  // equal values share a node
+        break;
+      case VarKind::kDesignated:
+      case VarKind::kWildcard:
+      case VarKind::kConstant:
+        break;  // identity not required (constants already pinned)
+    }
+  }
+  return true;
+}
+
+bool IdentifiesByEnumeration(const Graph& g, const CompiledPattern& cp,
+                             NodeId e1, NodeId e2, const EqView& eq,
+                             const NodeSet* n1, const NodeSet* n2,
+                             SearchStats* stats) {
+  // Safety valve: patterns are small; planted graphs keep match counts low.
+  constexpr size_t kMaxMatches = 100000;
+  std::vector<Valuation> m1 =
+      EnumerateMatches(g, cp, e1, n1, kMaxMatches, stats);
+  if (m1.empty()) return false;
+  std::vector<Valuation> m2 =
+      EnumerateMatches(g, cp, e2, n2, kMaxMatches, stats);
+  for (const Valuation& v1 : m1) {
+    for (const Valuation& v2 : m2) {
+      if (Coincide(g, cp, v1, v2, eq)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gkeys

@@ -1,0 +1,49 @@
+#ifndef GKEYS_ISOMORPH_VF2_H_
+#define GKEYS_ISOMORPH_VF2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eq/equivalence.h"
+#include "graph/graph.h"
+#include "graph/neighborhood.h"
+#include "isomorph/eval_search.h"
+#include "pattern/pattern.h"
+
+namespace gkeys {
+
+/// One complete valuation ν of a pattern: graph node per pattern node.
+using Valuation = std::vector<NodeId>;
+
+/// VF2-style subgraph-isomorphism enumeration: all matches of Q(x) at `e`
+/// in G (restricted to `restrict_to` when given). This is the conventional
+/// algorithm [13] the paper's EMVF2MR baseline plugs in: it enumerates every
+/// match (no early termination) before the coincidence check. `max_matches`
+/// caps the enumeration as a safety valve (0 = unlimited); the cap is
+/// generous enough never to trigger in the shipped tests/benches.
+std::vector<Valuation> EnumerateMatches(const Graph& g,
+                                        const CompiledPattern& cp, NodeId e,
+                                        const NodeSet* restrict_to = nullptr,
+                                        size_t max_matches = 0,
+                                        SearchStats* stats = nullptr);
+
+/// Whether matches S1 (at e1, under ν1) and S2 (at e2, under ν2) coincide,
+/// S1(e1) ≅_Q S2(e2) under Eq (paper §2.2 / §3.1): entity variables other
+/// than x map to Eq-equivalent entities, value variables to equal values;
+/// wildcards and x are unconstrained.
+bool Coincide(const Graph& g, const CompiledPattern& cp, const Valuation& v1,
+              const Valuation& v2, const EqView& eq);
+
+/// The naive decision procedure used by EMVF2MR (paper §4.1): enumerate all
+/// matches at e1 and all at e2 with VF2, then test every pair of matches
+/// for coincidence. Semantically identical to KeyIdentifies but without
+/// combined search or early termination.
+bool IdentifiesByEnumeration(const Graph& g, const CompiledPattern& cp,
+                             NodeId e1, NodeId e2, const EqView& eq,
+                             const NodeSet* n1 = nullptr,
+                             const NodeSet* n2 = nullptr,
+                             SearchStats* stats = nullptr);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_ISOMORPH_VF2_H_

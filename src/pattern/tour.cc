@@ -1,0 +1,31 @@
+#include "pattern/tour.h"
+
+#include <functional>
+
+namespace gkeys {
+
+std::vector<TourStep> ComputeTour(const CompiledPattern& cp) {
+  std::vector<TourStep> tour;
+  tour.reserve(2 * cp.triples.size());
+  std::vector<bool> traversed(cp.triples.size(), false);
+
+  // Depth-first closed walk from x. Each triple is walked outward when
+  // first seen and walked back immediately after its subtree (or
+  // immediately, for back edges), so it contributes exactly two steps.
+  std::function<void(int)> dfs = [&](int u) {
+    for (int t : cp.incident[u]) {
+      if (traversed[t]) continue;
+      traversed[t] = true;
+      const CompiledTriple& ct = cp.triples[t];
+      int v = ct.subject == u ? ct.object : ct.subject;
+      bool outward_forward = ct.object == v;  // moving subject -> object?
+      tour.push_back(TourStep{t, outward_forward, v});
+      dfs(v);
+      tour.push_back(TourStep{t, !outward_forward, u});
+    }
+  };
+  dfs(cp.designated);
+  return tour;
+}
+
+}  // namespace gkeys

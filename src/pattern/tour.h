@@ -1,0 +1,36 @@
+#ifndef GKEYS_PATTERN_TOUR_H_
+#define GKEYS_PATTERN_TOUR_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace gkeys {
+
+/// One hop of a traversal order P_Q (paper §5.1): follow pattern triple
+/// `triple`; `forward` is true when moving subject→object. `to_node` is the
+/// pattern node arrived at.
+struct TourStep {
+  int triple;
+  bool forward;
+  int to_node;
+};
+
+/// Computes the traversal order P_Q for a compiled pattern: a closed walk
+/// over the undirected pattern graph that starts and ends at x and covers
+/// every triple. Finding a shortest such tour is NP-complete (Chinese
+/// Postman, paper §5.1), so — like the paper — we use a greedy strategy:
+/// a depth-first closed walk that traverses each pattern triple exactly
+/// twice (once outward, once on the way back), giving the 2|Q| bound of
+/// Lemma 11.
+///
+/// Invariants (asserted by tests):
+///   * the walk starts and ends at the designated variable;
+///   * every triple appears exactly twice;
+///   * consecutive steps share an endpoint (it is a walk);
+///   * length == 2|Q|.
+std::vector<TourStep> ComputeTour(const CompiledPattern& cp);
+
+}  // namespace gkeys
+
+#endif  // GKEYS_PATTERN_TOUR_H_

@@ -1,0 +1,137 @@
+#ifndef GKEYS_VERTEXCENTRIC_ENGINE_H_
+#define GKEYS_VERTEXCENTRIC_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gkeys {
+namespace vertexcentric {
+
+/// An asynchronous vertex-centric execution engine in the style of
+/// GraphLab [31], used by the EMVC family (paper §5). Vertices are dense
+/// ids; a vertex program runs whenever a message addressed to a vertex is
+/// delivered. There are NO global supersteps or barriers: each of the `p`
+/// workers drains its own mailbox shard independently (vertices are
+/// hash-partitioned across workers, simulating machine placement), so a
+/// long-running vertex never stalls unrelated vertices — the property that
+/// lets EMVC avoid MapReduce's straggler blocking.
+///
+/// Termination detection: an atomic in-flight counter incremented on send
+/// and decremented after a message is fully processed. When it reaches
+/// zero all workers quiesce and Run() returns.
+///
+/// Handlers may send further messages via Context::Send (from any worker,
+/// to any vertex). The handler may also *process a message inline* by
+/// plain recursion — that is how EMOptVC's bounded-message optimization
+/// trades parallel forking for sequential backtracking (§5.2).
+template <typename Message>
+class Engine {
+ public:
+  class Context;
+  /// Vertex program: invoked once per delivered message.
+  using Handler =
+      std::function<void(Context&, uint32_t /*vertex*/, Message&&)>;
+
+  explicit Engine(int p) : shards_(std::max(1, p)) {}
+
+  /// Delivery context handed to handlers.
+  class Context {
+   public:
+    /// Asynchronously delivers `msg` to `vertex`.
+    void Send(uint32_t vertex, Message msg) {
+      engine_->Post(vertex, std::move(msg));
+    }
+    /// Total messages sent so far (for the paper's message-count stats).
+    uint64_t messages_sent() const {
+      return engine_->sent_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class Engine;
+    explicit Context(Engine* e) : engine_(e) {}
+    Engine* engine_;
+  };
+
+  /// Runs the handler over `seeds` and everything they transitively send.
+  /// Returns the total number of messages processed.
+  uint64_t Run(const std::vector<std::pair<uint32_t, Message>>& seeds,
+               const Handler& handler) {
+    handler_ = &handler;
+    for (const auto& [v, m] : seeds) Post(v, Message(m));
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (size_t w = 0; w < shards_.size(); ++w) {
+      workers.emplace_back([this, w] { WorkerLoop(static_cast<int>(w)); });
+    }
+    for (auto& t : workers) t.join();
+    handler_ = nullptr;
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t messages_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<uint32_t, Message>> queue;
+  };
+
+  void Post(uint32_t vertex, Message msg) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    Shard& s = shards_[vertex % shards_.size()];
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.queue.emplace_back(vertex, std::move(msg));
+    }
+    s.cv.notify_one();
+  }
+
+  void WorkerLoop(int w) {
+    Shard& s = shards_[w];
+    Context ctx(this);
+    for (;;) {
+      std::pair<uint32_t, Message> item;
+      {
+        std::unique_lock<std::mutex> lock(s.mu);
+        // Wake periodically to observe global quiescence: this worker's
+        // queue may stay empty while others still create work for it.
+        while (s.queue.empty()) {
+          if (in_flight_.load(std::memory_order_acquire) == 0) return;
+          s.cv.wait_for(lock, std::chrono::milliseconds(1));
+        }
+        item = std::move(s.queue.front());
+        s.queue.pop_front();
+      }
+      (*handler_)(ctx, item.first, std::move(item.second));
+      processed_.fetch_add(1, std::memory_order_relaxed);
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Possibly the last message system-wide: wake everyone so they can
+        // re-check the termination condition.
+        for (Shard& other : shards_) other.cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<Shard> shards_;
+  const Handler* handler_ = nullptr;
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> processed_{0};
+};
+
+}  // namespace vertexcentric
+}  // namespace gkeys
+
+#endif  // GKEYS_VERTEXCENTRIC_ENGINE_H_

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/interner.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace gkeys {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllConstructorsProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::Internal("").code(),        Status::IoError("").code(),
+      Status::ParseError("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status Inner() { return Status::Internal("boom"); }
+Status Outer() {
+  GKEYS_RETURN_IF_ERROR(Inner());
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(Outer().code(), StatusCode::kInternal);
+}
+
+TEST(Interner, RoundTrip) {
+  StringInterner in;
+  Symbol a = in.Intern("alpha");
+  Symbol b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);  // stable
+  EXPECT_EQ(in.Resolve(a), "alpha");
+  EXPECT_EQ(in.Resolve(b), "beta");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(Interner, LookupDoesNotIntern) {
+  StringInterner in;
+  EXPECT_EQ(in.Lookup("ghost"), kNoSymbol);
+  EXPECT_EQ(in.size(), 0u);
+  in.Intern("real");
+  EXPECT_NE(in.Lookup("real"), kNoSymbol);
+}
+
+TEST(Interner, CopyIsIndependent) {
+  StringInterner a;
+  a.Intern("x");
+  StringInterner b = a;
+  b.Intern("y");
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Resolve(a.Lookup("x")), "x");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Below(13), 13u);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = r.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIndependentStream) {
+  Rng a(5);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(8, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsFine) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelShards, ShardsPartitionTheRange) {
+  std::vector<int> owner(100, -1);
+  ParallelShards(7, owner.size(), [&](int shard, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) owner[i] = shard;
+  });
+  for (int o : owner) EXPECT_GE(o, 0);
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -1,0 +1,148 @@
+#include "eq/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gkeys {
+namespace {
+
+TEST(Equivalence, StartsAsIdentity) {
+  EquivalenceRelation eq(5);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = 0; j < 5; ++j) {
+      EXPECT_EQ(eq.Same(i, j), i == j);
+    }
+  }
+  EXPECT_TRUE(eq.IdentifiedPairs().empty());
+}
+
+TEST(Equivalence, UnionReportsGrowth) {
+  EquivalenceRelation eq(4);
+  EXPECT_TRUE(eq.Union(0, 1));
+  EXPECT_FALSE(eq.Union(0, 1));  // already same
+  EXPECT_FALSE(eq.Union(1, 0));
+  EXPECT_EQ(eq.num_merges(), 1u);
+}
+
+TEST(Equivalence, TransitivityIsImplicit) {
+  EquivalenceRelation eq(5);
+  eq.Union(0, 1);
+  eq.Union(1, 2);
+  EXPECT_TRUE(eq.Same(0, 2));  // the chase's TC rule
+  EXPECT_FALSE(eq.Same(0, 3));
+}
+
+TEST(Equivalence, SymmetricAndReflexive) {
+  EquivalenceRelation eq(3);
+  eq.Union(2, 0);
+  EXPECT_TRUE(eq.Same(0, 2));
+  EXPECT_TRUE(eq.Same(2, 0));
+  EXPECT_TRUE(eq.Same(1, 1));
+}
+
+TEST(Equivalence, NontrivialClasses) {
+  EquivalenceRelation eq(6);
+  eq.Union(0, 1);
+  eq.Union(1, 2);
+  eq.Union(4, 5);
+  auto classes = eq.NontrivialClasses();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(classes[1], (std::vector<NodeId>{4, 5}));
+}
+
+TEST(Equivalence, IdentifiedPairsEnumeratesWithinClasses) {
+  EquivalenceRelation eq(5);
+  eq.Union(0, 1);
+  eq.Union(1, 2);
+  auto pairs = eq.IdentifiedPairs();
+  // {0,1,2} yields 3 pairs.
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(pairs[2], (std::pair<NodeId, NodeId>{1, 2}));
+}
+
+TEST(Equivalence, EqualityComparesPairSets) {
+  EquivalenceRelation a(4), b(4);
+  a.Union(0, 1);
+  b.Union(1, 0);
+  EXPECT_TRUE(a == b);
+  b.Union(2, 3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ConcurrentEquivalence, BasicSemantics) {
+  ConcurrentEquivalence eq(5);
+  EXPECT_FALSE(eq.Same(0, 1));
+  EXPECT_TRUE(eq.Union(0, 1));
+  EXPECT_FALSE(eq.Union(1, 0));
+  EXPECT_TRUE(eq.Same(0, 1));
+  eq.Union(1, 2);
+  EXPECT_TRUE(eq.Same(0, 2));
+  EXPECT_EQ(eq.num_merges(), 2u);
+}
+
+TEST(ConcurrentEquivalence, SnapshotMatches) {
+  ConcurrentEquivalence eq(6);
+  eq.Union(0, 3);
+  eq.Union(3, 5);
+  eq.Union(1, 2);
+  EquivalenceRelation snap = eq.Snapshot();
+  EXPECT_TRUE(snap.Same(0, 5));
+  EXPECT_TRUE(snap.Same(1, 2));
+  EXPECT_FALSE(snap.Same(0, 1));
+  EXPECT_EQ(snap.IdentifiedPairs().size(), 4u);  // {0,3,5}:3 + {1,2}:1
+}
+
+TEST(ConcurrentEquivalence, ParallelUnionsConverge) {
+  // Many threads union random overlapping chains; the final structure
+  // must equal the sequential result regardless of interleaving.
+  constexpr int kNodes = 2000;
+  constexpr int kThreads = 8;
+  ConcurrentEquivalence eq(kNodes);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&eq, t] {
+      // Thread t unions i with i+t+1 for i in its stripe: heavy overlap.
+      for (int i = t; i + t + 1 < kNodes; i += 2) {
+        eq.Union(i, i + t + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EquivalenceRelation expected(kNodes);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = t; i + t + 1 < kNodes; i += 2) {
+      expected.Union(i, i + t + 1);
+    }
+  }
+  EquivalenceRelation actual = eq.Snapshot();
+  EXPECT_TRUE(actual == expected);
+}
+
+TEST(ConcurrentEquivalence, ParallelSameDuringUnions) {
+  // Smoke test: concurrent Same() calls must not crash or livelock and
+  // must be monotone (once true, stays true).
+  constexpr int kNodes = 512;
+  ConcurrentEquivalence eq(kNodes);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    bool seen = false;
+    while (!stop.load()) {
+      bool now = eq.Same(0, kNodes - 1);
+      EXPECT_TRUE(!seen || now);  // monotone
+      seen = now;
+    }
+  });
+  for (int i = 0; i + 1 < kNodes; ++i) eq.Union(i, i + 1);
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(eq.Same(0, kNodes - 1));
+}
+
+}  // namespace
+}  // namespace gkeys

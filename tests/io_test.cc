@@ -1,0 +1,122 @@
+#include "io/triples.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/chase.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace gkeys {
+namespace {
+
+TEST(TriplesIo, SerializeSmallGraph) {
+  Graph g;
+  NodeId a = g.AddEntity("artist");
+  (void)g.AddTriple(a, "name_of", g.AddValue("The Beatles"));
+  g.Finalize();
+  std::string text = SerializeGraph(g);
+  EXPECT_NE(text.find("ent:artist:0 name_of val:\"The Beatles\""),
+            std::string::npos);
+}
+
+TEST(TriplesIo, RoundTripPreservesStructure) {
+  auto m = testing::MakeG1();
+  std::string text = SerializeGraph(m.g);
+  auto loaded = DeserializeGraph(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumEntities(), m.g.NumEntities());
+  EXPECT_EQ(loaded->NumValues(), m.g.NumValues());
+  EXPECT_EQ(loaded->NumTriples(), m.g.NumTriples());
+  // Semantic equivalence: the chase finds the same number of duplicate
+  // classes on the reloaded graph.
+  KeySet sigma1 = testing::MakeSigma1();
+  EXPECT_EQ(Chase(*loaded, sigma1).pairs.size(),
+            Chase(m.g, sigma1).pairs.size());
+}
+
+TEST(TriplesIo, RoundTripSyntheticWorkload) {
+  SyntheticConfig cfg;
+  cfg.entities_per_type = 10;
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  auto loaded = DeserializeGraph(SerializeGraph(ds.graph));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumTriples(), ds.graph.NumTriples());
+  EXPECT_EQ(Chase(*loaded, ds.keys).pairs.size(), ds.planted.size());
+}
+
+TEST(TriplesIo, EscapedLiterals) {
+  Graph g;
+  NodeId e = g.AddEntity("t");
+  (void)g.AddTriple(e, "p", g.AddValue("say \"hi\" \\ there"));
+  g.Finalize();
+  auto loaded = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded->FindValue("say \"hi\" \\ there"), kNoNode);
+}
+
+TEST(TriplesIo, LiteralsWithSpaces) {
+  Graph g;
+  NodeId e = g.AddEntity("band");
+  (void)g.AddTriple(e, "name_of", g.AddValue("The Rolling Stones"));
+  g.Finalize();
+  auto loaded = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NE(loaded->FindValue("The Rolling Stones"), kNoNode);
+}
+
+TEST(TriplesIo, IsolatedEntitiesSurvive) {
+  Graph g;
+  g.AddEntity("loner");
+  g.Finalize();
+  auto loaded = DeserializeGraph(SerializeGraph(g));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEntities(), 1u);
+  EXPECT_EQ(loaded->EntitiesOfType(loaded->interner().Lookup("loner")).size(),
+            1u);
+}
+
+TEST(TriplesIo, CommentsAndBlankLinesIgnored) {
+  auto loaded = DeserializeGraph(
+      "# a comment\n"
+      "\n"
+      "ent:t:0 p ent:t:1\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumTriples(), 1u);
+}
+
+TEST(TriplesIo, MalformedInputRejected) {
+  EXPECT_FALSE(DeserializeGraph("just one field\n").ok());
+  EXPECT_FALSE(DeserializeGraph("ent:t:0 p\n").ok());
+  EXPECT_FALSE(DeserializeGraph("bogus:t:0 p ent:t:1\n").ok());
+  EXPECT_FALSE(DeserializeGraph("ent:t:0 p val:\"unterminated\n").ok());
+  EXPECT_FALSE(DeserializeGraph("val:\"v\" p ent:t:0\n").ok());  // value subj
+}
+
+TEST(TriplesIo, EntityReferencesAreStable) {
+  // The same ent:type:id token must resolve to one node.
+  auto loaded = DeserializeGraph(
+      "ent:t:0 p ent:t:1\n"
+      "ent:t:0 q ent:t:1\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumEntities(), 2u);
+  EXPECT_EQ(loaded->NumTriples(), 2u);
+}
+
+TEST(TriplesIo, FileRoundTrip) {
+  auto m = testing::MakeG1();
+  std::string path = ::testing::TempDir() + "/gkeys_io_test.triples";
+  ASSERT_TRUE(SaveGraph(m.g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumTriples(), m.g.NumTriples());
+  std::remove(path.c_str());
+}
+
+TEST(TriplesIo, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadGraph("/nonexistent/dir/nope.triples").ok());
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -1,0 +1,125 @@
+#include "keys/key.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace gkeys {
+namespace {
+
+TEST(Key, CachesDerivedProperties) {
+  auto parsed = ParseKey(R"(
+    key Q1 for album {
+      x -[name_of]-> n*
+      x -[recorded_by]-> y:artist
+    }
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Key k(parsed->name, std::move(parsed->pattern));
+  EXPECT_EQ(k.name(), "Q1");
+  EXPECT_EQ(k.type(), "album");
+  EXPECT_EQ(k.size(), 2u);
+  EXPECT_EQ(k.radius(), 1);
+  EXPECT_TRUE(k.recursive());
+  ASSERT_EQ(k.dependency_types().size(), 1u);
+  EXPECT_EQ(k.dependency_types()[0], "artist");
+}
+
+TEST(KeySet, SizesAndLookup) {
+  KeySet keys = testing::MakeSigma1();
+  EXPECT_EQ(keys.count(), 3u);          // ||Σ||
+  EXPECT_EQ(keys.TotalSize(), 6u);      // |Σ| = Σ|Q|
+  EXPECT_EQ(keys.KeysForType("album").size(), 2u);
+  EXPECT_EQ(keys.KeysForType("artist").size(), 1u);
+  EXPECT_TRUE(keys.KeysForType("ghost").empty());
+  EXPECT_TRUE(keys.HasKeyForType("album"));
+  EXPECT_FALSE(keys.HasKeyForType("ghost"));
+  auto types = keys.KeyedTypes();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], "album");
+  EXPECT_EQ(types[1], "artist");
+}
+
+TEST(KeySet, MaxRadius) {
+  KeySet keys;
+  ASSERT_TRUE(keys.AddFromDsl(R"(
+    key A for t { x -[p]-> v* }
+    key B for t {
+      x -[p]-> _w:a
+      _w -[q]-> u*
+    }
+  )").ok());
+  EXPECT_EQ(keys.MaxRadiusForType("t"), 2);
+  EXPECT_EQ(keys.MaxRadius(), 2);
+  EXPECT_EQ(keys.MaxRadiusForType("ghost"), 0);
+}
+
+TEST(KeySet, ValueBasedTypes) {
+  KeySet keys = testing::MakeSigma1();
+  // album has value-based Q2; artist only has recursive Q3.
+  auto vb = keys.ValueBasedTypes();
+  ASSERT_EQ(vb.size(), 1u);
+  EXPECT_EQ(vb[0], "album");
+}
+
+TEST(KeySet, DependencyChainMutualRecursion) {
+  // album -> artist -> album: the cycle contributes its 2 distinct types.
+  KeySet keys = testing::MakeSigma1();
+  EXPECT_EQ(keys.LongestDependencyChain(), 2);
+}
+
+TEST(KeySet, DependencyChainValueBasedOnly) {
+  KeySet keys;
+  ASSERT_TRUE(keys.AddFromDsl("key A for t { x -[p]-> v* }").ok());
+  EXPECT_EQ(keys.LongestDependencyChain(), 1);
+}
+
+TEST(KeySet, DependencyChainLinear) {
+  KeySet keys;
+  ASSERT_TRUE(keys.AddFromDsl(R"(
+    key A for t0 {
+      x -[p]-> v*
+      x -[r]-> y:t1
+    }
+    key B for t1 {
+      x -[p]-> v*
+      x -[r]-> y:t2
+    }
+    key C for t2 { x -[p]-> v* }
+  )").ok());
+  EXPECT_EQ(keys.LongestDependencyChain(), 3);
+}
+
+TEST(KeySet, DependencyChainIgnoresUnkeyedTypes) {
+  KeySet keys;
+  // y's type has no key: the chain cannot extend through it.
+  ASSERT_TRUE(keys.AddFromDsl(R"(
+    key A for t0 {
+      x -[p]-> v*
+      x -[r]-> y:unkeyed
+    }
+  )").ok());
+  EXPECT_EQ(keys.LongestDependencyChain(), 1);
+}
+
+TEST(KeySet, DependencyChainSelfRecursion) {
+  // company -> company: a self-loop, chain of one distinct type.
+  KeySet keys = testing::MakeSigma2();
+  EXPECT_EQ(keys.LongestDependencyChain(), 1);
+}
+
+TEST(KeySet, EmptySet) {
+  KeySet keys;
+  EXPECT_TRUE(keys.empty());
+  EXPECT_EQ(keys.LongestDependencyChain(), 0);
+  EXPECT_EQ(keys.MaxRadius(), 0);
+}
+
+TEST(KeySet, AddFromDslPropagatesParseErrors) {
+  KeySet keys;
+  EXPECT_FALSE(keys.AddFromDsl("key broken {").ok());
+  EXPECT_TRUE(keys.empty());
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -1,0 +1,151 @@
+#include "mapreduce/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace gkeys {
+namespace {
+
+using mapreduce::Emitter;
+using mapreduce::Job;
+using mapreduce::RoundStats;
+
+TEST(MapReduce, WordCount) {
+  // The canonical smoke test for the runtime.
+  Job<int, std::string, std::string, int, std::string, int> job(
+      [](const int&, const std::string& line, Emitter<std::string, int>& out) {
+        size_t pos = 0;
+        while (pos < line.size()) {
+          size_t sp = line.find(' ', pos);
+          if (sp == std::string::npos) sp = line.size();
+          if (sp > pos) out.Emit(line.substr(pos, sp - pos), 1);
+          pos = sp + 1;
+        }
+      },
+      [](const std::string& word, const std::vector<int>& counts,
+         Emitter<std::string, int>& out) {
+        int total = 0;
+        for (int c : counts) total += c;
+        out.Emit(word, total);
+      });
+
+  std::vector<std::pair<int, std::string>> inputs = {
+      {0, "the quick fox"}, {1, "the lazy dog"}, {2, "the fox"}};
+  for (int p : {1, 2, 4, 8}) {
+    auto result = job.Run(inputs, p);
+    std::map<std::string, int> counts(result.begin(), result.end());
+    EXPECT_EQ(counts["the"], 3) << "p=" << p;
+    EXPECT_EQ(counts["fox"], 2);
+    EXPECT_EQ(counts["quick"], 1);
+    EXPECT_EQ(counts.size(), 5u);
+  }
+}
+
+TEST(MapReduce, GroupsAllValuesOfAKey) {
+  Job<int, int, int, int, int, int> job(
+      [](const int& k, const int& v, Emitter<int, int>& out) {
+        out.Emit(k % 3, v);
+      },
+      [](const int& key, const std::vector<int>& values,
+         Emitter<int, int>& out) {
+        out.Emit(key, static_cast<int>(values.size()));
+      });
+  std::vector<std::pair<int, int>> inputs;
+  for (int i = 0; i < 90; ++i) inputs.emplace_back(i, i);
+  auto result = job.Run(inputs, 4);
+  ASSERT_EQ(result.size(), 3u);
+  for (auto [k, count] : result) EXPECT_EQ(count, 30) << "key " << k;
+}
+
+TEST(MapReduce, EmptyInput) {
+  Job<int, int, int, int, int, int> job(
+      [](const int&, const int&, Emitter<int, int>&) {},
+      [](const int&, const std::vector<int>&, Emitter<int, int>&) {});
+  EXPECT_TRUE(job.Run({}, 4).empty());
+}
+
+TEST(MapReduce, StatsReported) {
+  Job<int, int, int, int, int, int> job(
+      [](const int& k, const int& v, Emitter<int, int>& out) {
+        out.Emit(k, v);
+        out.Emit(k + 100, v);  // two intermediates per input
+      },
+      [](const int& k, const std::vector<int>& vs, Emitter<int, int>& out) {
+        out.Emit(k, static_cast<int>(vs.size()));
+      });
+  std::vector<std::pair<int, int>> inputs;
+  for (int i = 0; i < 10; ++i) inputs.emplace_back(i, i);
+  RoundStats stats;
+  auto result = job.Run(inputs, 3, &stats);
+  EXPECT_EQ(stats.map_inputs, 10u);
+  EXPECT_EQ(stats.map_outputs, 20u);
+  EXPECT_EQ(stats.reduce_groups, 20u);  // all keys distinct
+  EXPECT_EQ(stats.reduce_outputs, 20u);
+  EXPECT_EQ(result.size(), 20u);
+}
+
+TEST(MapReduce, ResultIndependentOfParallelism) {
+  // The shuffle must be deterministic up to ordering: sort and compare.
+  Job<int, int, int, int, int, int> job(
+      [](const int& k, const int& v, Emitter<int, int>& out) {
+        out.Emit(v % 7, k + v);
+      },
+      [](const int& k, const std::vector<int>& vs, Emitter<int, int>& out) {
+        int sum = 0;
+        for (int v : vs) sum += v;
+        out.Emit(k, sum);
+      });
+  std::vector<std::pair<int, int>> inputs;
+  for (int i = 0; i < 200; ++i) inputs.emplace_back(i, 3 * i + 1);
+  auto sorted_run = [&](int p) {
+    auto r = job.Run(inputs, p);
+    std::sort(r.begin(), r.end());
+    return r;
+  };
+  auto base = sorted_run(1);
+  EXPECT_EQ(sorted_run(2), base);
+  EXPECT_EQ(sorted_run(5), base);
+  EXPECT_EQ(sorted_run(16), base);
+}
+
+TEST(MapReduce, IterativeDriverConverges) {
+  // A tiny fixpoint computation in rounds: propagate min label along a
+  // ring until stable — the control structure EMMR uses.
+  constexpr int kN = 16;
+  std::vector<int> label(kN);
+  for (int i = 0; i < kN; ++i) label[i] = i;
+
+  Job<int, int, int, int, int, int> job(
+      [&](const int& node, const int& lbl, Emitter<int, int>& out) {
+        out.Emit((node + 1) % kN, lbl);  // send my label to my neighbor
+        out.Emit(node, lbl);
+      },
+      [](const int& node, const std::vector<int>& labels,
+         Emitter<int, int>& out) {
+        int mn = labels[0];
+        for (int l : labels) mn = std::min(mn, l);
+        out.Emit(node, mn);
+      });
+
+  int rounds = 0;
+  bool changed = true;
+  while (changed) {
+    ++rounds;
+    std::vector<std::pair<int, int>> inputs;
+    for (int i = 0; i < kN; ++i) inputs.emplace_back(i, label[i]);
+    changed = false;
+    for (auto [node, lbl] : job.Run(inputs, 4)) {
+      if (lbl < label[node]) {
+        label[node] = lbl;
+        changed = true;
+      }
+    }
+    ASSERT_LE(rounds, kN + 1) << "must converge";
+  }
+  for (int l : label) EXPECT_EQ(l, 0);
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -1,0 +1,167 @@
+#include "isomorph/pairing.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isomorph/eval_search.h"
+#include "pattern/parser.h"
+#include "test_util.h"
+
+namespace gkeys {
+namespace {
+
+using testing::MakeG1;
+using testing::MakeG2;
+
+CompiledPattern CompileDsl(const Graph& g, const char* dsl) {
+  auto key = ParseKey(dsl);
+  EXPECT_TRUE(key.ok()) << key.status().ToString();
+  static std::vector<std::unique_ptr<Pattern>> keep;
+  keep.push_back(std::make_unique<Pattern>(std::move(key->pattern)));
+  return Compile(*keep.back(), g);
+}
+
+TEST(Pairing, AcceptsIdentifiablePair) {
+  auto m = MakeG1();
+  CompiledPattern q2 = CompileDsl(m.g, R"(
+    key Q2 for album {
+      x -[name_of]-> n*
+      x -[release_year]-> yr*
+    })");
+  NodeSet n1 = DNeighbor(m.g, m.alb1, 1);
+  NodeSet n2 = DNeighbor(m.g, m.alb2, 1);
+  PairingResult pr = ComputeMaxPairing(m.g, q2, m.alb1, m.alb2, n1, n2);
+  EXPECT_TRUE(pr.paired);
+  EXPECT_GT(pr.relation_size, 0u);
+  EXPECT_TRUE(pr.reduced1.Contains(m.alb1));
+  EXPECT_TRUE(pr.reduced2.Contains(m.alb2));
+}
+
+TEST(Pairing, RejectsValueMismatch) {
+  auto m = MakeG1();
+  CompiledPattern q2 = CompileDsl(m.g, R"(
+    key Q2 for album {
+      x -[name_of]-> n*
+      x -[release_year]-> yr*
+    })");
+  // alb3's year differs: no shared year value => prune to empty.
+  NodeSet n1 = DNeighbor(m.g, m.alb1, 1);
+  NodeSet n3 = DNeighbor(m.g, m.alb3, 1);
+  PairingResult pr = ComputeMaxPairing(m.g, q2, m.alb1, m.alb3, n1, n3);
+  EXPECT_FALSE(pr.paired);
+}
+
+TEST(Pairing, IsNecessaryNotSufficient) {
+  // Pairing ignores Eq: art1/art2 pair by Q3 although identification
+  // requires (alb1, alb2) ∈ Eq first. That is exactly why pairing is a
+  // sound filter (Prop. 9) but not a decision procedure.
+  auto m = MakeG1();
+  CompiledPattern q3 = CompileDsl(m.g, R"(
+    key Q3 for artist {
+      x -[name_of]-> n*
+      y:album -[recorded_by]-> x
+    })");
+  NodeSet n1 = DNeighbor(m.g, m.art1, 1);
+  NodeSet n2 = DNeighbor(m.g, m.art2, 1);
+  PairingResult pr = ComputeMaxPairing(m.g, q3, m.art1, m.art2, n1, n2);
+  EXPECT_TRUE(pr.paired);
+  EqView eq0;
+  EXPECT_FALSE(KeyIdentifies(m.g, q3, m.art1, m.art2, eq0, &n1, &n2));
+}
+
+TEST(Pairing, NeverFiltersIdentifiablePairs) {
+  // Soundness on G2/Q4: the identifiable pair (com4, com5) must pair.
+  auto c = MakeG2();
+  CompiledPattern q4 = CompileDsl(c.g, R"(
+    key Q4 for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      y:company -[parent_of]-> x
+    })");
+  NodeSet n4 = DNeighbor(c.g, c.com4, 2);
+  NodeSet n5 = DNeighbor(c.g, c.com5, 2);
+  PairingResult pr = ComputeMaxPairing(c.g, q4, c.com4, c.com5, n4, n5);
+  EXPECT_TRUE(pr.paired);
+}
+
+TEST(Pairing, ReducedNeighborsPreserveIdentification) {
+  // §4.2: searching inside the reduced neighbors must still identify.
+  auto c = MakeG2();
+  CompiledPattern q4 = CompileDsl(c.g, R"(
+    key Q4 for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      y:company -[parent_of]-> x
+    })");
+  NodeSet n4 = DNeighbor(c.g, c.com4, 2);
+  NodeSet n5 = DNeighbor(c.g, c.com5, 2);
+  PairingResult pr = ComputeMaxPairing(c.g, q4, c.com4, c.com5, n4, n5);
+  ASSERT_TRUE(pr.paired);
+  EXPECT_LE(pr.reduced1.size(), n4.size());
+  EXPECT_LE(pr.reduced2.size(), n5.size());
+  EqView eq0;
+  EXPECT_TRUE(KeyIdentifies(c.g, q4, c.com4, c.com5, eq0, &pr.reduced1,
+                            &pr.reduced2));
+}
+
+TEST(Pairing, ReductionShrinksNoisyNeighborhoods) {
+  // An identifiable pair with heavy unrelated structure around it: the
+  // pairing relation must exclude the noise nodes.
+  Graph g;
+  NodeId a = g.AddEntity("t");
+  NodeId b = g.AddEntity("t");
+  NodeId shared = g.AddValue("V");
+  (void)g.AddTriple(a, "p", shared);
+  (void)g.AddTriple(b, "p", shared);
+  std::vector<NodeId> noise;
+  for (int i = 0; i < 20; ++i) {
+    NodeId n = g.AddEntity("junk");
+    noise.push_back(n);
+    (void)g.AddTriple(a, "q", n);
+    (void)g.AddTriple(b, "q", n);
+  }
+  g.Finalize();
+  CompiledPattern k = CompileDsl(g, "key K for t {\n x -[p]-> v*\n}");
+  NodeSet n1 = DNeighbor(g, a, 1);
+  NodeSet n2 = DNeighbor(g, b, 1);
+  PairingResult pr = ComputeMaxPairing(g, k, a, b, n1, n2);
+  ASSERT_TRUE(pr.paired);
+  EXPECT_LT(pr.reduced1.size(), n1.size());
+  for (NodeId n : noise) {
+    EXPECT_FALSE(pr.reduced1.Contains(n));
+  }
+}
+
+TEST(Pairing, CollectPairsForProductGraph) {
+  auto m = MakeG1();
+  CompiledPattern q2 = CompileDsl(m.g, R"(
+    key Q2 for album {
+      x -[name_of]-> n*
+      x -[release_year]-> yr*
+    })");
+  NodeSet n1 = DNeighbor(m.g, m.alb1, 1);
+  NodeSet n2 = DNeighbor(m.g, m.alb2, 1);
+  PairingResult pr = ComputeMaxPairing(m.g, q2, m.alb1, m.alb2, n1, n2,
+                                       /*collect_pairs=*/true);
+  ASSERT_TRUE(pr.paired);
+  EXPECT_FALSE(pr.pairs.empty());
+  // The designated pair itself must be collected.
+  EXPECT_NE(std::find(pr.pairs.begin(), pr.pairs.end(),
+                      PackPair(m.alb1, m.alb2)),
+            pr.pairs.end());
+}
+
+TEST(Pairing, UnmatchablePatternNeverPairs) {
+  auto m = MakeG1();
+  CompiledPattern ghost =
+      CompileDsl(m.g, "key K for album {\n x -[ghost_pred]-> v*\n}");
+  NodeSet n1 = DNeighbor(m.g, m.alb1, 1);
+  NodeSet n2 = DNeighbor(m.g, m.alb2, 1);
+  EXPECT_FALSE(ComputeMaxPairing(m.g, ghost, m.alb1, m.alb2, n1, n2).paired);
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -1,0 +1,127 @@
+#include "core/provenance.h"
+
+#include "core/chase.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace gkeys {
+namespace {
+
+using testing::MakeG1;
+using testing::MakeG2;
+using testing::MakeSigma1;
+using testing::MakeSigma2;
+
+TEST(Provenance, RecordsMusicDerivation) {
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  ProvenanceResult pr = ChaseWithProvenance(m.g, sigma1);
+  // Same result as the plain chase.
+  EXPECT_EQ(pr.result.pairs, Chase(m.g, sigma1).pairs);
+  ASSERT_EQ(pr.steps.size(), 2u);
+  // Step 1: the albums by value-based Q2, no premises.
+  EXPECT_EQ(pr.steps[0].e1, m.alb1);
+  EXPECT_EQ(pr.steps[0].e2, m.alb2);
+  EXPECT_EQ(pr.steps[0].key, "Q2");
+  EXPECT_TRUE(pr.steps[0].premises.empty());
+  // Step 2: the artists by recursive Q3, premised on the albums.
+  EXPECT_EQ(pr.steps[1].e1, m.art1);
+  EXPECT_EQ(pr.steps[1].e2, m.art2);
+  EXPECT_EQ(pr.steps[1].key, "Q3");
+  ASSERT_EQ(pr.steps[1].premises.size(), 1u);
+  EXPECT_EQ(pr.steps[1].premises[0],
+            (std::pair<NodeId, NodeId>{m.alb1, m.alb2}));
+  EXPECT_GT(pr.steps[1].round, pr.steps[0].round);
+}
+
+TEST(Provenance, WildcardStepsHaveNoPremises) {
+  auto c = MakeG2();
+  KeySet sigma2 = MakeSigma2();
+  ProvenanceResult pr = ChaseWithProvenance(c.g, sigma2);
+  ASSERT_EQ(pr.steps.size(), 2u);
+  for (const ChaseStep& step : pr.steps) {
+    // Q4's entity variable binds the SHARED parent com3 and Q5's binds
+    // the shared sibling: identity facts, never recorded as premises.
+    EXPECT_TRUE(step.premises.empty()) << FormatChaseStep(c.g, step);
+    EXPECT_EQ(step.round, 1u);
+  }
+}
+
+TEST(Provenance, DerivationValidates) {
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  ProvenanceResult pr = ChaseWithProvenance(m.g, sigma1);
+  EXPECT_TRUE(ValidateDerivation(m.g, sigma1, pr.steps));
+}
+
+TEST(Provenance, TamperedDerivationRejected) {
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  ProvenanceResult pr = ChaseWithProvenance(m.g, sigma1);
+  ASSERT_EQ(pr.steps.size(), 2u);
+  // Reorder: the recursive step now fires before its premise exists.
+  std::swap(pr.steps[0], pr.steps[1]);
+  EXPECT_FALSE(ValidateDerivation(m.g, sigma1, pr.steps));
+}
+
+TEST(Provenance, FormatIsReadable) {
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  ProvenanceResult pr = ChaseWithProvenance(m.g, sigma1);
+  std::string s = FormatChaseStep(m.g, pr.steps[1]);
+  EXPECT_NE(s.find("by Q3"), std::string::npos);
+  EXPECT_NE(s.find("because"), std::string::npos);
+}
+
+TEST(Provenance, ChainDepthMatchesRounds) {
+  // A c=4 fully chained workload: the proof of the level-0 pair must sit
+  // 4 rounds deep with a premise chain down to the leaf.
+  SyntheticConfig cfg;
+  cfg.num_groups = 1;
+  cfg.chain_length = 4;
+  cfg.radius = 1;
+  cfg.entities_per_type = 8;
+  cfg.chained_fraction = 1.0;
+  cfg.seed = 21;
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  ProvenanceResult pr = ChaseWithProvenance(ds.graph, ds.keys);
+  EXPECT_EQ(pr.result.pairs, ds.planted);
+  EXPECT_TRUE(ValidateDerivation(ds.graph, ds.keys, pr.steps));
+  // Proof depth: a step's depth is 1 + the max depth of its premises.
+  // (The sequential chase may resolve a whole chain within one visiting
+  // round, but the DERIVATION depth still reflects the c = 4 chain.)
+  std::map<std::pair<NodeId, NodeId>, size_t> depth;
+  size_t max_depth = 0;
+  for (const ChaseStep& s : pr.steps) {
+    size_t d = 1;
+    for (const auto& prem : s.premises) {
+      auto it = depth.find(prem);
+      ASSERT_NE(it, depth.end()) << "premise must be an earlier step";
+      d = std::max(d, it->second + 1);
+    }
+    NodeId a = std::min(s.e1, s.e2), b = std::max(s.e1, s.e2);
+    depth[{a, b}] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  EXPECT_EQ(max_depth, 4u) << "proof depth must equal the chain length";
+}
+
+TEST(Provenance, StepCountBoundsConfirmedPairs) {
+  // Direct identifications <= all pairs (transitivity adds the rest).
+  SyntheticConfig cfg;
+  cfg.num_groups = 2;
+  cfg.chain_length = 2;
+  cfg.entities_per_type = 12;
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  ProvenanceResult pr = ChaseWithProvenance(ds.graph, ds.keys);
+  EXPECT_LE(pr.steps.size(), pr.result.pairs.size());
+  EXPECT_EQ(pr.result.pairs, ds.planted);
+}
+
+}  // namespace
+}  // namespace gkeys

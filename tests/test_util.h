@@ -1,0 +1,145 @@
+#ifndef GKEYS_TESTS_TEST_UTIL_H_
+#define GKEYS_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "keys/key.h"
+#include "pattern/parser.h"
+
+namespace gkeys {
+namespace testing {
+
+/// The paper's Fig. 2 graph G1 (music fragment). Node handles exposed for
+/// assertions.
+struct MusicGraph {
+  Graph g;
+  NodeId alb1, alb2, alb3;
+  NodeId art1, art2, art3;
+};
+
+inline MusicGraph MakeG1() {
+  MusicGraph m;
+  Graph& g = m.g;
+  m.art1 = g.AddEntity("artist");
+  m.art2 = g.AddEntity("artist");
+  m.art3 = g.AddEntity("artist");
+  m.alb1 = g.AddEntity("album");
+  m.alb2 = g.AddEntity("album");
+  m.alb3 = g.AddEntity("album");
+  NodeId beatles = g.AddValue("The Beatles");
+  NodeId farnham = g.AddValue("John Farnham");
+  NodeId anthology = g.AddValue("Anthology 2");
+  NodeId y1996 = g.AddValue("1996");
+  NodeId y1997 = g.AddValue("1997");
+  (void)g.AddTriple(m.art1, "name_of", beatles);
+  (void)g.AddTriple(m.art2, "name_of", beatles);
+  (void)g.AddTriple(m.art3, "name_of", farnham);
+  (void)g.AddTriple(m.alb1, "name_of", anthology);
+  (void)g.AddTriple(m.alb2, "name_of", anthology);
+  (void)g.AddTriple(m.alb3, "name_of", anthology);
+  (void)g.AddTriple(m.alb1, "release_year", y1996);
+  (void)g.AddTriple(m.alb2, "release_year", y1996);
+  (void)g.AddTriple(m.alb3, "release_year", y1997);
+  (void)g.AddTriple(m.alb1, "recorded_by", m.art1);
+  (void)g.AddTriple(m.alb2, "recorded_by", m.art2);
+  (void)g.AddTriple(m.alb3, "recorded_by", m.art3);
+  g.Finalize();
+  return m;
+}
+
+/// Σ1 = {Q1, Q2, Q3} from Fig. 1: the mutually recursive music keys.
+inline KeySet MakeSigma1() {
+  KeySet keys;
+  Status st = keys.AddFromDsl(R"(
+    key Q1 for album {
+      x -[name_of]-> n*
+      x -[recorded_by]-> y:artist
+    }
+    key Q2 for album {
+      x -[name_of]-> n*
+      x -[release_year]-> yr*
+    }
+    key Q3 for artist {
+      x -[name_of]-> n*
+      y:album -[recorded_by]-> x
+    }
+  )");
+  (void)st;
+  return keys;
+}
+
+/// The paper's Fig. 2 graph G2 (company fragment): com0 ("AT&T") is the
+/// parent of com1, com2 ("AT&T") and com3 ("SBC"); com4 has parents
+/// com1 + com3; com5 has parents com2 + com3; com4/com5 named "AT&T".
+struct CompanyGraph {
+  Graph g;
+  NodeId com0, com1, com2, com3, com4, com5;
+};
+
+inline CompanyGraph MakeG2() {
+  CompanyGraph c;
+  Graph& g = c.g;
+  c.com0 = g.AddEntity("company");
+  c.com1 = g.AddEntity("company");
+  c.com2 = g.AddEntity("company");
+  c.com3 = g.AddEntity("company");
+  c.com4 = g.AddEntity("company");
+  c.com5 = g.AddEntity("company");
+  NodeId att = g.AddValue("AT&T");
+  NodeId sbc = g.AddValue("SBC");
+  (void)g.AddTriple(c.com0, "name_of", att);
+  (void)g.AddTriple(c.com1, "name_of", att);
+  (void)g.AddTriple(c.com2, "name_of", att);
+  (void)g.AddTriple(c.com3, "name_of", sbc);
+  (void)g.AddTriple(c.com4, "name_of", att);
+  (void)g.AddTriple(c.com5, "name_of", att);
+  (void)g.AddTriple(c.com0, "parent_of", c.com1);
+  (void)g.AddTriple(c.com0, "parent_of", c.com2);
+  (void)g.AddTriple(c.com0, "parent_of", c.com3);
+  (void)g.AddTriple(c.com1, "parent_of", c.com4);
+  (void)g.AddTriple(c.com2, "parent_of", c.com5);
+  (void)g.AddTriple(c.com3, "parent_of", c.com4);
+  (void)g.AddTriple(c.com3, "parent_of", c.com5);
+  g.Finalize();
+  return c;
+}
+
+/// Σ2 = {Q4, Q5}: merge/split company keys (Fig. 1).
+inline KeySet MakeSigma2() {
+  KeySet keys;
+  Status st = keys.AddFromDsl(R"(
+    key Q4 for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      y:company -[parent_of]-> x
+    }
+    key Q5 for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      _p -[parent_of]-> y:company
+    }
+  )");
+  (void)st;
+  return keys;
+}
+
+/// Normalizes a pair list for comparison.
+inline std::vector<std::pair<NodeId, NodeId>> Pairs(
+    std::initializer_list<std::pair<NodeId, NodeId>> pairs) {
+  std::vector<std::pair<NodeId, NodeId>> v;
+  for (auto [a, b] : pairs) {
+    if (a > b) std::swap(a, b);
+    v.emplace_back(a, b);
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace testing
+}  // namespace gkeys
+
+#endif  // GKEYS_TESTS_TEST_UTIL_H_

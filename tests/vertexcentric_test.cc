@@ -1,0 +1,115 @@
+#include "vertexcentric/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace gkeys {
+namespace {
+
+using vertexcentric::Engine;
+
+TEST(VertexCentric, DeliversSeeds) {
+  Engine<int> engine(4);
+  std::vector<std::atomic<int>> received(8);
+  for (auto& r : received) r.store(0);
+  Engine<int>::Handler handler = [&](Engine<int>::Context&, uint32_t v,
+                                     int&& payload) {
+    received[v].fetch_add(payload);
+  };
+  std::vector<std::pair<uint32_t, int>> seeds;
+  for (uint32_t v = 0; v < 8; ++v) seeds.emplace_back(v, int(v) + 1);
+  uint64_t processed = engine.Run(seeds, handler);
+  EXPECT_EQ(processed, 8u);
+  for (uint32_t v = 0; v < 8; ++v) EXPECT_EQ(received[v].load(), int(v) + 1);
+}
+
+TEST(VertexCentric, CascadingSendsAllProcessed) {
+  // Each message at vertex v forwards to v+1 until a limit: counts the
+  // whole cascade and terminates.
+  constexpr uint32_t kChain = 500;
+  Engine<int> engine(4);
+  std::atomic<int> processed_count{0};
+  Engine<int>::Handler handler = [&](Engine<int>::Context& ctx, uint32_t v,
+                                     int&& hops) {
+    processed_count.fetch_add(1);
+    if (v + 1 < kChain) ctx.Send(v + 1, hops + 1);
+  };
+  uint64_t processed = engine.Run({{0, 0}}, handler);
+  EXPECT_EQ(processed, kChain);
+  EXPECT_EQ(processed_count.load(), static_cast<int>(kChain));
+}
+
+TEST(VertexCentric, FanOutFanIn) {
+  // One seed fans out to 64 vertices; each replies to vertex 0.
+  Engine<int> engine(8);
+  std::atomic<int> acks{0};
+  Engine<int>::Handler handler = [&](Engine<int>::Context& ctx, uint32_t v,
+                                     int&& tag) {
+    if (v == 0 && tag == 0) {
+      for (uint32_t i = 1; i <= 64; ++i) ctx.Send(i, 1);
+    } else if (tag == 1) {
+      ctx.Send(0, 2);
+    } else {
+      acks.fetch_add(1);
+    }
+  };
+  engine.Run({{0, 0}}, handler);
+  EXPECT_EQ(acks.load(), 64);
+}
+
+TEST(VertexCentric, MessagesSentCounter) {
+  Engine<int> engine(2);
+  Engine<int>::Handler handler = [&](Engine<int>::Context& ctx, uint32_t v,
+                                     int&& n) {
+    if (n > 0) ctx.Send(v, n - 1);
+  };
+  engine.Run({{3, 5}}, handler);
+  // 1 seed + 5 self-sends.
+  EXPECT_EQ(engine.messages_sent(), 6u);
+}
+
+TEST(VertexCentric, ManyWorkersNoDeadlockOnUnevenLoad) {
+  // All work hashes to one shard; other workers must still terminate.
+  Engine<int> engine(16);
+  std::atomic<int> count{0};
+  Engine<int>::Handler handler = [&](Engine<int>::Context& ctx, uint32_t,
+                                     int&& n) {
+    count.fetch_add(1);
+    if (n > 0) ctx.Send(16, n - 1);  // vertex 16 -> shard 0 always
+  };
+  engine.Run({{16, 200}}, handler);
+  EXPECT_EQ(count.load(), 201);
+}
+
+TEST(VertexCentric, ParallelismStress) {
+  // A diamond cascade with contention on shared counters.
+  Engine<uint32_t> engine(8);
+  std::atomic<uint64_t> total{0};
+  Engine<uint32_t>::Handler handler = [&](Engine<uint32_t>::Context& ctx,
+                                          uint32_t v, uint32_t&& depth) {
+    total.fetch_add(1);
+    if (depth < 10) {
+      ctx.Send(v * 2 + 1, depth + 1);
+      ctx.Send(v * 2 + 2, depth + 1);
+    }
+  };
+  engine.Run({{0, 0}}, handler);
+  // Full binary tree of depth 10: 2^11 - 1 messages.
+  EXPECT_EQ(total.load(), 2047u);
+}
+
+TEST(VertexCentric, RunIsRepeatable) {
+  Engine<int> engine(4);
+  std::atomic<int> count{0};
+  Engine<int>::Handler handler = [&](Engine<int>::Context&, uint32_t,
+                                     int&&) { count.fetch_add(1); };
+  engine.Run({{1, 0}, {2, 0}}, handler);
+  EXPECT_EQ(count.load(), 2);
+  engine.Run({{3, 0}}, handler);
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace gkeys

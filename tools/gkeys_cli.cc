@@ -1,0 +1,226 @@
+// gkeys command-line tool: run entity matching, satisfaction checking,
+// key discovery, entity fusion, and workload generation from the shell.
+//
+// Usage:
+//   gkeys match <graph.triples> <keys.dsl> [--algorithm=NAME] [--processors=N]
+//               [--provenance] [--fuse=OUT.triples]
+//   gkeys check <graph.triples> <keys.dsl>
+//   gkeys discover <graph.triples> [--max-attrs=N] [--min-coverage=F]
+//   gkeys generate <out.triples> [--scale=F] [--c=N] [--d=N] [--seed=N]
+//   gkeys stats <graph.triples>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/entity_matcher.h"
+#include "core/provenance.h"
+#include "discovery/key_discovery.h"
+#include "gen/synthetic.h"
+#include "graph/merge.h"
+#include "io/triples.h"
+
+namespace {
+
+using namespace gkeys;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gkeys <match|check|discover|generate|stats> ...\n"
+               "  match <graph> <keys.dsl> [--algorithm=EMMR|EMVF2MR|"
+               "EMOptMR|EMVC|EMOptVC|NaiveChase] [--processors=N]\n"
+               "        [--provenance] [--fuse=out.triples]\n"
+               "  check <graph> <keys.dsl>\n"
+               "  discover <graph> [--max-attrs=N] [--min-coverage=F]\n"
+               "  generate <out> [--scale=F] [--c=N] [--d=N] [--seed=N]\n"
+               "  stats <graph>\n");
+  return 2;
+}
+
+std::string FlagValue(int argc, char** argv, const char* name,
+                      const char* def) {
+  std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+StatusOr<KeySet> LoadKeys(const std::string& path) {
+  auto graph_text = [&]() -> StatusOr<std::string> {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IoError("cannot open " + path);
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    return text;
+  }();
+  if (!graph_text.ok()) return graph_text.status();
+  KeySet keys;
+  GKEYS_RETURN_IF_ERROR(keys.AddFromDsl(*graph_text));
+  return keys;
+}
+
+Algorithm ParseAlgorithm(const std::string& name) {
+  if (name == "NaiveChase") return Algorithm::kNaiveChase;
+  if (name == "EMMR") return Algorithm::kEmMr;
+  if (name == "EMVF2MR") return Algorithm::kEmVf2Mr;
+  if (name == "EMOptMR") return Algorithm::kEmOptMr;
+  if (name == "EMVC") return Algorithm::kEmVc;
+  return Algorithm::kEmOptVc;
+}
+
+int CmdMatch(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto graph = LoadGraph(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto keys = LoadKeys(argv[3]);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  Algorithm algo =
+      ParseAlgorithm(FlagValue(argc, argv, "--algorithm", "EMOptVC"));
+  int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
+  if (p <= 0) p = 4;
+
+  if (HasFlag(argc, argv, "--provenance")) {
+    ProvenanceResult pr = ChaseWithProvenance(*graph, *keys);
+    std::printf("# %zu identified pairs, %zu chase steps\n",
+                pr.result.pairs.size(), pr.steps.size());
+    for (const ChaseStep& step : pr.steps) {
+      std::printf("%s\n", FormatChaseStep(*graph, step).c_str());
+    }
+    return 0;
+  }
+
+  MatchResult r = MatchEntities(*graph, *keys, algo, p);
+  std::printf("# algorithm=%s p=%d pairs=%zu candidates=%zu rounds=%zu "
+              "time=%.1fms\n",
+              AlgorithmName(algo).c_str(), p, r.pairs.size(),
+              r.stats.candidates, r.stats.rounds,
+              (r.stats.prep_seconds + r.stats.run_seconds) * 1e3);
+  for (auto [a, b] : r.pairs) {
+    std::printf("%s == %s\n", graph->DescribeNode(a).c_str(),
+                graph->DescribeNode(b).c_str());
+  }
+
+  std::string fuse_out = FlagValue(argc, argv, "--fuse", "");
+  if (!fuse_out.empty()) {
+    FusionResult fused = FuseEntities(*graph, r.pairs);
+    Status st = SaveGraph(fused.graph, fuse_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("# fused %zu entities -> %s (%zu triples)\n",
+                fused.entities_fused, fuse_out.c_str(),
+                fused.graph.NumTriples());
+  }
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto graph = LoadGraph(argv[2]);
+  auto keys = LoadKeys(argv[3]);
+  if (!graph.ok() || !keys.ok()) {
+    std::fprintf(stderr, "load error\n");
+    return 1;
+  }
+  bool ok = Satisfies(*graph, *keys);
+  std::printf("G |= Σ: %s\n", ok ? "yes" : "no");
+  return ok ? 0 : 3;
+}
+
+int CmdDiscover(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto graph = LoadGraph(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  DiscoveryConfig cfg;
+  cfg.max_attributes =
+      std::atoi(FlagValue(argc, argv, "--max-attrs", "2").c_str());
+  cfg.min_coverage =
+      std::atof(FlagValue(argc, argv, "--min-coverage", "0.6").c_str());
+  for (Symbol t : graph->EntityTypes()) {
+    const std::string& type = graph->interner().Resolve(t);
+    for (const DiscoveredKey& dk : DiscoverKeys(*graph, type, cfg)) {
+      // Emitted in the DSL so the output feeds straight into `match`.
+      std::printf("# coverage=%.2f arity=%d\n%s\n", dk.coverage, dk.arity,
+                  ToDsl(dk.key).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  SyntheticConfig cfg;
+  cfg.scale = std::atof(FlagValue(argc, argv, "--scale", "1.0").c_str());
+  cfg.chain_length = std::atoi(FlagValue(argc, argv, "--c", "2").c_str());
+  cfg.radius = std::atoi(FlagValue(argc, argv, "--d", "2").c_str());
+  cfg.seed = std::strtoull(FlagValue(argc, argv, "--seed", "42").c_str(),
+                           nullptr, 10);
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  Status st = SaveGraph(ds.graph, argv[2]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu nodes, %zu triples, %zu planted duplicate "
+              "pairs, %zu keys\n",
+              argv[2], ds.graph.NumNodes(), ds.graph.NumTriples(),
+              ds.planted.size(), ds.keys.count());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto graph = LoadGraph(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("nodes:    %zu (%zu entities, %zu values)\n",
+              graph->NumNodes(), graph->NumEntities(), graph->NumValues());
+  std::printf("triples:  %zu\n", graph->NumTriples());
+  auto types = graph->EntityTypes();
+  std::printf("types:    %zu\n", types.size());
+  for (Symbol t : types) {
+    std::printf("  %-20s %zu\n", graph->interner().Resolve(t).c_str(),
+                graph->EntitiesOfType(t).size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "match") return CmdMatch(argc, argv);
+  if (cmd == "check") return CmdCheck(argc, argv);
+  if (cmd == "discover") return CmdDiscover(argc, argv);
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  return Usage();
+}
