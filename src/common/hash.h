@@ -1,0 +1,34 @@
+#ifndef GKEYS_COMMON_HASH_H_
+#define GKEYS_COMMON_HASH_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gkeys {
+
+/// Transparent (heterogeneous) string hash: lets string-keyed hash maps
+/// be probed with std::string_view / const char* without materializing a
+/// temporary std::string per lookup.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return (*this)(std::string_view(s));
+  }
+  size_t operator()(const char* s) const noexcept {
+    return (*this)(std::string_view(s));
+  }
+};
+
+/// std::string-keyed hash map with allocation-free heterogeneous lookup.
+template <typename V>
+using StringMap =
+    std::unordered_map<std::string, V, TransparentStringHash, std::equal_to<>>;
+
+}  // namespace gkeys
+
+#endif  // GKEYS_COMMON_HASH_H_

@@ -4,8 +4,9 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/hash.h"
 
 namespace gkeys {
 
@@ -29,9 +30,10 @@ class StringInterner {
   StringInterner(const StringInterner&) = default;
   StringInterner& operator=(const StringInterner&) = default;
 
-  /// Returns the symbol for `s`, interning it if new.
+  /// Returns the symbol for `s`, interning it if new. Lookup of an
+  /// already-interned string allocates nothing (transparent hash).
   Symbol Intern(std::string_view s) {
-    auto it = index_.find(std::string(s));
+    auto it = index_.find(s);
     if (it != index_.end()) return it->second;
     Symbol id = static_cast<Symbol>(strings_.size());
     strings_.emplace_back(s);
@@ -41,7 +43,7 @@ class StringInterner {
 
   /// Returns the symbol for `s` or kNoSymbol if absent. Does not intern.
   Symbol Lookup(std::string_view s) const {
-    auto it = index_.find(std::string(s));
+    auto it = index_.find(s);
     return it == index_.end() ? kNoSymbol : it->second;
   }
 
@@ -52,7 +54,7 @@ class StringInterner {
 
  private:
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, Symbol> index_;
+  StringMap<Symbol> index_;
 };
 
 }  // namespace gkeys

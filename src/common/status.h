@@ -19,6 +19,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  kFailedPrecondition,
+  kCancelled,
 };
 
 /// A lightweight success/error result. `Status::OK()` is the success value;
@@ -51,6 +53,12 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,6 +80,8 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

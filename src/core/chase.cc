@@ -7,18 +7,14 @@
 
 namespace gkeys {
 
-MatchResult Chase(const Graph& g, const KeySet& keys,
-                  const ChaseOptions& options) {
-  Timer prep_timer;
-  EmOptions eopts;
-  eopts.processors = 1;
-  eopts.use_vf2 = options.use_vf2;
-  EmContext ctx(g, keys, eopts);
-
+StatusOr<MatchResult> RunChase(const EmContext& ctx,
+                               const ChaseOptions& options, bool use_vf2,
+                               MatchSink* sink) {
   MatchResult result;
-  result.stats.prep_seconds = prep_timer.Seconds();
   result.stats.candidates_initial = ctx.candidates_initial();
   result.stats.candidates = ctx.candidates().size();
+  result.stats.neighbor_nodes = ctx.neighbor_nodes();
+  result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
 
   std::vector<uint32_t> order(ctx.candidates().size());
   std::iota(order.begin(), order.end(), 0);
@@ -30,8 +26,9 @@ MatchResult Chase(const Graph& g, const KeySet& keys,
   }
 
   Timer run_timer;
-  EquivalenceRelation eq(g.NumNodes());
+  EquivalenceRelation eq(ctx.graph().NumNodes());
   EqView view(&eq);
+  internal::PairStreamer streamer(sink);
   std::vector<uint32_t> active = order;
   std::vector<uint32_t> next;
   bool changed = true;
@@ -44,7 +41,7 @@ MatchResult Chase(const Graph& g, const KeySet& keys,
       if (eq.Same(c.e1, c.e2)) continue;  // already identified (or TC)
       ++result.stats.iso_checks;
       if (ctx.Identifies(c, view, &result.stats.search,
-                         options.unrestricted_neighbors)) {
+                         options.unrestricted_neighbors, use_vf2)) {
         eq.Union(c.e1, c.e2);
         changed = true;
       } else {
@@ -52,12 +49,35 @@ MatchResult Chase(const Graph& g, const KeySet& keys,
       }
     }
     active.swap(next);
+    if (sink != nullptr) {
+      result.stats.confirmed = streamer.EmitNew(eq);
+      sink->OnProgress(result.stats);
+      if (sink->cancelled()) {
+        return Status::Cancelled("entity matching cancelled after round " +
+                                 std::to_string(result.stats.rounds));
+      }
+    }
   }
   result.stats.run_seconds = run_timer.Seconds();
   result.pairs = eq.IdentifiedPairs();
   result.stats.confirmed = result.pairs.size();
-  result.stats.neighbor_nodes = ctx.neighbor_nodes();
-  result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
+  GKEYS_RETURN_IF_ERROR(streamer.Finish(result.pairs));
+  return result;
+}
+
+MatchResult Chase(const Graph& g, const KeySet& keys,
+                  const ChaseOptions& options) {
+  Timer prep_timer;
+  EmOptions eopts;
+  eopts.processors = 1;
+  eopts.use_vf2 = options.use_vf2;
+  EmContext ctx(g, keys, eopts);
+  double prep_seconds = prep_timer.Seconds();
+
+  // No sink, so the run cannot fail.
+  auto r = RunChase(ctx, options, options.use_vf2, nullptr);
+  MatchResult result = r.ok() ? *std::move(r) : MatchResult{};
+  result.stats.prep_seconds = prep_seconds;
   return result;
 }
 

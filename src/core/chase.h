@@ -31,6 +31,15 @@ struct ChaseOptions {
 MatchResult Chase(const Graph& g, const KeySet& keys,
                   const ChaseOptions& options = {});
 
+/// The chase fixpoint over a pre-built context — the single shared loop
+/// behind Chase() and Matcher's kNaiveChase, so oracle and plan-based
+/// execution cannot diverge. `use_vf2` overrides the context's compile
+/// options (plan runs choose the search strategy at run time). With a
+/// sink, streams pairs/progress per round and honors cancellation.
+StatusOr<MatchResult> RunChase(const EmContext& ctx,
+                               const ChaseOptions& options, bool use_vf2,
+                               MatchSink* sink);
+
 /// Decision procedure: (G, Σ) |= (e1, e2)? Runs the chase and looks the
 /// pair up (the problem shown NP-complete in Theorem 2 — exponential only
 /// through the subgraph-isomorphism search inside each chase step).

@@ -271,18 +271,42 @@ void EmContext::BuildDependencyIndex() {
 }
 
 bool EmContext::Identifies(const Candidate& c, const EqView& eq,
-                           SearchStats* stats, bool unrestricted) const {
+                           SearchStats* stats, bool unrestricted,
+                           bool use_vf2) const {
   const NodeSet* n1 = unrestricted ? nullptr : c.nbr1;
   const NodeSet* n2 = unrestricted ? nullptr : c.nbr2;
   for (int ki : *c.keys) {
     const CompiledPattern& cp = compiled_[ki].cp;
     bool found =
-        opts_.use_vf2
+        use_vf2
             ? IdentifiesByEnumeration(*g_, cp, c.e1, c.e2, eq, n1, n2, stats)
             : KeyIdentifies(*g_, cp, c.e1, c.e2, eq, n1, n2, stats);
     if (found) return true;  // early termination across keys
   }
   return false;
+}
+
+size_t internal::PairStreamer::EmitNew(const EquivalenceRelation& eq) {
+  for (const auto& [a, b] : eq.IdentifiedPairs()) {
+    uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
+    if (!emitted_.insert(packed).second) continue;
+    if (sink_ != nullptr) sink_->OnPair(a, b);
+  }
+  return emitted_.size();
+}
+
+Status internal::PairStreamer::Finish(
+    const std::vector<std::pair<NodeId, NodeId>>& final_pairs) {
+  if (sink_ == nullptr) return Status::OK();
+  for (const auto& [a, b] : final_pairs) {
+    uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
+    if (!emitted_.insert(packed).second) continue;
+    sink_->OnPair(a, b);
+  }
+  if (emitted_.size() != final_pairs.size()) {
+    return Status::Internal("streamed pair count diverged from result");
+  }
+  return Status::OK();
 }
 
 }  // namespace gkeys

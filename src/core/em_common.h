@@ -5,6 +5,7 @@
 #include <deque>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -77,6 +78,63 @@ struct MatchResult {
   EmStats stats;
 };
 
+/// Observer for streaming runs (Matcher::Run(plan, sink)): receives every
+/// confirmed pair exactly once, a progress snapshot after every round of
+/// the fixpoint, and is polled for cooperative cancellation.
+///
+/// Callbacks are invoked from the driver thread between rounds — never
+/// concurrently — so implementations need no locking of their own.
+/// Transitively implied pairs (Eq closure) are streamed in the round whose
+/// merges implied them.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+
+  /// A newly confirmed duplicate pair (a < b). Called exactly once per
+  /// pair of the final chase(G, Σ).
+  virtual void OnPair(NodeId a, NodeId b) { (void)a; (void)b; }
+
+  /// Called at least once per fixpoint round with cumulative statistics
+  /// (rounds, confirmed, iso_checks/messages so far).
+  virtual void OnProgress(const EmStats& progress) { (void)progress; }
+
+  /// Polled between rounds; return true to stop the run. A cancelled run
+  /// surfaces as StatusCode::kCancelled and the sink keeps every pair
+  /// streamed so far.
+  virtual bool cancelled() { return false; }
+};
+
+namespace internal {
+
+/// Streams the delta of an Eq snapshot to a MatchSink, guaranteeing
+/// exactly-once emission per identified pair across rounds. Each call
+/// re-materializes the snapshot's pair set (rounds are few — O(c) — and
+/// classes small in practice); streaming very large duplicate classes
+/// over many rounds wants a union-find merge log instead (ROADMAP).
+class PairStreamer {
+ public:
+  explicit PairStreamer(MatchSink* sink) : sink_(sink) {}
+
+  /// Emits every identified pair of `eq` not emitted before. Returns the
+  /// total number of pairs emitted so far.
+  size_t EmitNew(const EquivalenceRelation& eq);
+
+  /// Final sweep after the fixpoint: emits whatever the per-round deltas
+  /// did not cover (zero-round runs; merges after the last emission),
+  /// reusing the engine's already-materialized pair list instead of
+  /// re-sweeping the union-find. Verifies the exactly-once invariant;
+  /// no-op without a sink.
+  Status Finish(const std::vector<std::pair<NodeId, NodeId>>& final_pairs);
+
+  size_t emitted() const { return emitted_.size(); }
+
+ private:
+  MatchSink* sink_;
+  std::unordered_set<uint64_t> emitted_;
+};
+
+}  // namespace internal
+
 /// A candidate pair from L with its per-pair working set. The neighbor
 /// sets are owned by the EmContext (shared per-entity d-neighbors, or
 /// per-pair pairing-reduced sets) and outlive the candidate.
@@ -148,7 +206,15 @@ class EmContext {
   /// locality property guarantees the same answer; tests rely on this).
   bool Identifies(const Candidate& c, const EqView& eq,
                   SearchStats* stats = nullptr,
-                  bool unrestricted = false) const;
+                  bool unrestricted = false) const {
+    return Identifies(c, eq, stats, unrestricted, opts_.use_vf2);
+  }
+
+  /// Same, with the search strategy chosen by the caller instead of the
+  /// context's construction options — lets one compiled plan serve both
+  /// the combined-search and VF2-enumeration algorithm variants.
+  bool Identifies(const Candidate& c, const EqView& eq, SearchStats* stats,
+                  bool unrestricted, bool use_vf2) const;
 
   /// Aggregate d-neighbor sizes (for the §6 reduction statistics):
   /// neighbor_nodes() sums |Gd| over the distinct candidate entities

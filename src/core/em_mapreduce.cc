@@ -27,8 +27,15 @@ MatchResult RunEmMapReduce(const Graph& g, const KeySet& keys,
 }
 
 MatchResult RunEmMapReduce(const EmContext& ctx) {
+  auto r = RunEmMapReduce(ctx, ctx.options(), nullptr);
+  // Without a sink there is no cancellation source; the run cannot fail.
+  return r.ok() ? *std::move(r) : MatchResult{};
+}
+
+StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
+                                     const EmOptions& opts,
+                                     MatchSink* sink) {
   const Graph& g = ctx.graph();
-  const EmOptions& opts = ctx.options();
   const auto& candidates = ctx.candidates();
   const int p = std::max(1, opts.processors);
 
@@ -66,7 +73,8 @@ MatchResult RunEmMapReduce(const EmContext& ctx) {
         if (check != 0) {
           SearchStats local;
           iso_checks.fetch_add(1, std::memory_order_relaxed);
-          bool found = ctx.Identifies(c, view, &local);
+          bool found = ctx.Identifies(c, view, &local,
+                                      /*unrestricted=*/false, opts.use_vf2);
           stat_expansions.fetch_add(local.expansions,
                                     std::memory_order_relaxed);
           stat_feasibility.fetch_add(local.feasibility_checks,
@@ -114,6 +122,19 @@ MatchResult RunEmMapReduce(const EmContext& ctx) {
     entered[i] = 1;
   }
 
+  internal::PairStreamer streamer(sink);
+  auto end_of_round = [&]() -> Status {
+    if (sink == nullptr) return Status::OK();
+    result.stats.confirmed = streamer.EmitNew(eq.Snapshot());
+    result.stats.iso_checks = iso_checks.load();
+    sink->OnProgress(result.stats);
+    if (sink->cancelled()) {
+      return Status::Cancelled("entity matching cancelled after round " +
+                               std::to_string(result.stats.rounds));
+    }
+    return Status::OK();
+  };
+
   while (!inputs.empty() || deferred_pending) {
     ++result.stats.rounds;
     size_t merges_before = eq.num_merges();
@@ -152,6 +173,8 @@ MatchResult RunEmMapReduce(const EmContext& ctx) {
       for (uint32_t dep : ghost.dependents) dirty[dep] = 1;
     }
 
+    GKEYS_RETURN_IF_ERROR(end_of_round());
+
     inputs.clear();
     if (deferred_pending) {
       // Round 2 of the dependency optimization: admit the deferred pairs.
@@ -182,9 +205,9 @@ MatchResult RunEmMapReduce(const EmContext& ctx) {
   result.stats.search.expansions = stat_expansions.load();
   result.stats.search.feasibility_checks = stat_feasibility.load();
   result.stats.search.full_instantiations = stat_full.load();
-  EquivalenceRelation final_eq = eq.Snapshot();
-  result.pairs = final_eq.IdentifiedPairs();
+  result.pairs = eq.Snapshot().IdentifiedPairs();
   result.stats.confirmed = result.pairs.size();
+  GKEYS_RETURN_IF_ERROR(streamer.Finish(result.pairs));
   return result;
 }
 

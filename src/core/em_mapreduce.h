@@ -35,6 +35,16 @@ MatchResult RunEmMapReduce(const Graph& g, const KeySet& keys,
 /// line-1 preprocessing from the iterative phase).
 MatchResult RunEmMapReduce(const EmContext& ctx);
 
+/// Plan-layer entry point: executes the iterative phase over a pre-built
+/// context with caller-supplied run-time options (which may differ from
+/// the options the context was compiled with — the compile-once/run-many
+/// contract of Matcher). When `sink` is non-null, confirmed pairs and
+/// per-round progress are streamed to it and cancellation is honored
+/// between rounds (StatusCode::kCancelled).
+StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
+                                     const EmOptions& run_options,
+                                     MatchSink* sink);
+
 }  // namespace gkeys
 
 #endif  // GKEYS_CORE_EM_MAPREDUCE_H_

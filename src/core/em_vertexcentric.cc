@@ -28,6 +28,9 @@ using VcEngine = vertexcentric::Engine<VcMessage>;
 struct VcRun {
   const EmContext& ctx;
   const ProductGraph& pg;
+  // Run-time options: may differ from ctx.options() when executing a
+  // compiled plan under a different algorithm configuration.
+  const EmOptions& run_opts;
   ConcurrentEquivalence& eq;
   // One flag per candidate: set once identified AND dependents notified.
   std::vector<std::atomic<uint8_t>>& flags;
@@ -36,7 +39,7 @@ struct VcRun {
   int max_key_slots;
   std::atomic<uint64_t> inline_hops{0};  // non-forked (sequential) hops
 
-  const EmOptions& opts() const { return ctx.options(); }
+  const EmOptions& opts() const { return run_opts; }
   const Graph& g() const { return ctx.graph(); }
 
   int BudgetSlot(uint32_t origin, int key) const {
@@ -259,8 +262,17 @@ MatchResult RunEmVertexCentric(const Graph& g, const KeySet& keys,
 }
 
 MatchResult RunEmVertexCentric(const EmContext& ctx) {
+  ProductGraph pg = BuildProductGraph(ctx);
+  auto r = RunEmVertexCentric(ctx, pg, ctx.options(), nullptr);
+  // Without a sink there is no cancellation source; the run cannot fail.
+  return r.ok() ? *std::move(r) : MatchResult{};
+}
+
+StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
+                                         const ProductGraph& pg,
+                                         const EmOptions& opts,
+                                         MatchSink* sink) {
   const Graph& g = ctx.graph();
-  const EmOptions& opts = ctx.options();
   const auto& candidates = ctx.candidates();
 
   MatchResult result;
@@ -268,8 +280,6 @@ MatchResult RunEmVertexCentric(const EmContext& ctx) {
   result.stats.candidates = candidates.size();
   result.stats.neighbor_nodes = ctx.neighbor_nodes();
   result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
-
-  ProductGraph pg = BuildProductGraph(ctx);
   result.stats.product_graph_nodes = pg.NumNodes();
   result.stats.product_graph_edges = pg.NumEdges();
 
@@ -285,7 +295,7 @@ MatchResult RunEmVertexCentric(const EmContext& ctx) {
       opts.bounded_messages > 0 ? candidates.size() * max_slots : 1);
   for (auto& b : budget) b.store(0, std::memory_order_relaxed);
 
-  VcRun runner{ctx, pg, eq, flags, budget, max_slots};
+  VcRun runner{ctx, pg, opts, eq, flags, budget, max_slots};
 
   VcEngine engine(opts.processors);
   VcEngine::Handler handler = [&](VcEngine::Context& vctx, uint32_t vertex,
@@ -297,6 +307,7 @@ MatchResult RunEmVertexCentric(const EmContext& ctx) {
   // recursive keys alike; recursive keys may fire immediately through
   // identity pairs in Eq0).
   uint64_t messages = 0;
+  internal::PairStreamer streamer(sink);
   bool progressed = true;
   std::vector<uint8_t> ghost_done(ctx.ghosts().size(), 0);
   std::vector<uint32_t> to_seed(candidates.size());
@@ -333,6 +344,17 @@ MatchResult RunEmVertexCentric(const EmContext& ctx) {
     }
     engine.Run(seeds, handler);
     messages = engine.messages_sent();
+
+    if (sink != nullptr) {
+      result.stats.confirmed = streamer.EmitNew(eq.Snapshot());
+      result.stats.messages = messages;
+      result.stats.iso_checks = runner.inline_hops.load();
+      sink->OnProgress(result.stats);
+      if (sink->cancelled()) {
+        return Status::Cancelled("entity matching cancelled after round " +
+                                 std::to_string(result.stats.rounds));
+      }
+    }
 
     // Quiescence sweep: candidates that became equal purely transitively
     // never ran MarkIdentified; notify their dependents now and re-run.
@@ -372,9 +394,9 @@ MatchResult RunEmVertexCentric(const EmContext& ctx) {
   result.stats.run_seconds = run.Seconds();
   result.stats.messages = messages;
   result.stats.iso_checks = runner.inline_hops.load();
-  EquivalenceRelation final_eq = eq.Snapshot();
-  result.pairs = final_eq.IdentifiedPairs();
+  result.pairs = eq.Snapshot().IdentifiedPairs();
   result.stats.confirmed = result.pairs.size();
+  GKEYS_RETURN_IF_ERROR(streamer.Finish(result.pairs));
   return result;
 }
 

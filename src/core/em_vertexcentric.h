@@ -2,6 +2,7 @@
 #define GKEYS_CORE_EM_VERTEXCENTRIC_H_
 
 #include "core/em_common.h"
+#include "core/product_graph.h"
 #include "keys/key.h"
 
 namespace gkeys {
@@ -34,6 +35,17 @@ MatchResult RunEmVertexCentric(const Graph& g, const KeySet& keys,
 
 /// Same, with a pre-built context (benchmarks separate preprocessing).
 MatchResult RunEmVertexCentric(const EmContext& ctx);
+
+/// Plan-layer entry point: executes EMVC over a pre-built context and
+/// product-graph skeleton with caller-supplied run-time options (bounded
+/// messages, prioritization, processors — independent of how the context
+/// was compiled). When `sink` is non-null, confirmed pairs and per-round
+/// progress are streamed and cancellation is honored between engine runs
+/// (StatusCode::kCancelled).
+StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
+                                         const ProductGraph& pg,
+                                         const EmOptions& run_options,
+                                         MatchSink* sink);
 
 }  // namespace gkeys
 

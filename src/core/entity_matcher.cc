@@ -1,5 +1,7 @@
 #include "core/entity_matcher.h"
 
+#include <algorithm>
+
 namespace gkeys {
 
 MatchResult MatchEntities(const Graph& g, const KeySet& keys,
@@ -10,21 +12,19 @@ MatchResult MatchEntities(const Graph& g, const KeySet& keys,
 
 MatchResult MatchEntities(const Graph& g, const KeySet& keys,
                           Algorithm algorithm, const EmOptions& options) {
-  switch (algorithm) {
-    case Algorithm::kNaiveChase: {
-      ChaseOptions copts;
-      copts.use_vf2 = options.use_vf2;
-      return Chase(g, keys, copts);
-    }
-    case Algorithm::kEmMr:
-    case Algorithm::kEmVf2Mr:
-    case Algorithm::kEmOptMr:
-      return RunEmMapReduce(g, keys, options);
-    case Algorithm::kEmVc:
-    case Algorithm::kEmOptVc:
-      return RunEmVertexCentric(g, keys, options);
-  }
-  return {};
+  // Thin wrapper over the plan API: compile a single-use plan with the
+  // preparation flags implied by `options`, then run. The legacy surface
+  // has no error channel, so any Status collapses to an empty result.
+  int p = std::max(1, options.processors);
+  PlanOptions popts = PlanOptions::For(algorithm, p);
+  popts.use_pairing = options.use_pairing;
+  auto plan = Matcher::Compile(g, keys, popts);
+  if (!plan.ok()) return {};
+
+  Matcher matcher(algorithm);
+  matcher.options(options).processors(p);
+  auto r = matcher.Run(*plan);
+  return r.ok() ? *std::move(r) : MatchResult{};
 }
 
 }  // namespace gkeys

@@ -5,14 +5,14 @@
 #include "core/em_common.h"
 #include "core/em_mapreduce.h"
 #include "core/em_vertexcentric.h"
+#include "core/matcher.h"
 #include "keys/key.h"
 
 namespace gkeys {
 
-/// The library's top-level entry point: computes chase(G, Σ) — all entity
-/// pairs of `g` identified by the keys — with the chosen algorithm.
-///
-/// Quickstart:
+/// Entity matching computes chase(G, Σ) — all entity pairs of `g`
+/// identified by the keys (paper §3). The primary API is the session
+/// pair in core/matcher.h:
 ///
 ///     gkeys::Graph g = ...;                 // build and Finalize()
 ///     gkeys::KeySet keys;
@@ -21,12 +21,31 @@ namespace gkeys {
 ///         x -[name_of]-> n*
 ///         x -[release_year]-> y*
 ///       })");
-///     gkeys::MatchResult r = gkeys::MatchEntities(
-///         g, keys, gkeys::Algorithm::kEmVc, /*processors=*/8);
-///     for (auto [a, b] : r.pairs) { ... }   // duplicates to fuse
+///
+///     // Compile once: keys compiled against the graph, candidate list,
+///     // d-neighbors, dependency index, product-graph skeleton.
+///     auto plan = gkeys::Matcher::Compile(g, keys);
+///     if (!plan.ok()) { /* inspect plan.status() */ }
+///
+///     // Run many: any algorithm, any configuration, no recompilation.
+///     gkeys::Matcher matcher(gkeys::Algorithm::kEmOptVc);
+///     auto r = matcher.processors(8).Run(*plan);
+///     for (auto [a, b] : r->pairs) { ... }  // duplicates to fuse
 ///
 /// All algorithms return exactly the same `pairs` (Proposition 1); they
-/// differ in execution strategy and therefore in `stats`.
+/// differ in execution strategy and therefore in `stats`. Streaming
+/// consumers pass a MatchSink: `matcher.Run(*plan, sink)` emits each
+/// confirmed pair exactly once plus per-round progress, with cooperative
+/// cancellation. Errors surface as Status/StatusOr, never asserts.
+///
+/// The two MatchEntities overloads below predate the plan API and are
+/// kept as thin wrappers for one-shot callers.
+
+/// Legacy convenience: compiles a single-use plan and runs it. Prefer
+/// Matcher::Compile + Matcher::Run when matching more than once (the
+/// preparation phase dominates and is reusable), or when error details
+/// matter — this wrapper collapses every failure (unfinalized graph,
+/// empty key set, invalid options) to an empty MatchResult.
 MatchResult MatchEntities(const Graph& g, const KeySet& keys,
                           Algorithm algorithm = Algorithm::kEmOptVc,
                           int processors = 1);

@@ -1,0 +1,48 @@
+#include "core/match_plan.h"
+
+#include "common/timer.h"
+
+namespace gkeys {
+
+PlanOptions PlanOptions::For(Algorithm a, int p) {
+  EmOptions preset = EmOptions::For(a, p);
+  PlanOptions popts;
+  popts.processors = p;
+  popts.use_pairing = preset.use_pairing;
+  popts.build_product_graph =
+      a == Algorithm::kEmVc || a == Algorithm::kEmOptVc;
+  return popts;
+}
+
+StatusOr<MatchPlan> CompileMatchPlan(const Graph& g, const KeySet& keys,
+                                     const PlanOptions& opts) {
+  if (!g.finalized()) {
+    return Status::FailedPrecondition(
+        "MatchPlan requires a finalized graph: call Graph::Finalize() "
+        "before Matcher::Compile");
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument(
+        "MatchPlan requires a non-empty key set (nothing to match on)");
+  }
+  if (opts.processors < 1) {
+    return Status::InvalidArgument(
+        "PlanOptions::processors must be >= 1, got " +
+        std::to_string(opts.processors));
+  }
+
+  Timer timer;
+  EmOptions eopts;
+  eopts.processors = opts.processors;
+  eopts.use_pairing = opts.use_pairing;
+  // Not make_shared: Rep is private and friendship does not reach into
+  // the standard library's allocation helpers.
+  std::shared_ptr<MatchPlan::Rep> rep(new MatchPlan::Rep(g, keys, opts, eopts));
+  if (opts.build_product_graph) {
+    rep->pg.emplace(BuildProductGraph(rep->ctx));
+  }
+  rep->compile_seconds = timer.Seconds();
+  return MatchPlan(std::move(rep));
+}
+
+}  // namespace gkeys

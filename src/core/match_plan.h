@@ -1,0 +1,119 @@
+#ifndef GKEYS_CORE_MATCH_PLAN_H_
+#define GKEYS_CORE_MATCH_PLAN_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+#include "core/em_common.h"
+#include "core/product_graph.h"
+#include "graph/graph.h"
+#include "keys/key.h"
+
+namespace gkeys {
+
+/// Options that shape plan *compilation* (the expensive preparation phase
+/// every algorithm shares — DriverMR line 1). Run-time knobs (algorithm,
+/// bounded messages, prioritization, VF2, …) live on Matcher instead, so
+/// one compiled plan serves many differently-configured runs.
+struct PlanOptions {
+  /// Worker threads used while compiling the plan (d-neighbors, pairing,
+  /// dependency index are all built in parallel). Purely a compile-time
+  /// resource choice; it does not constrain later runs.
+  int processors = 1;
+
+  /// §4.2 / Prop. 9: filter the candidate list L down to pairable pairs
+  /// and shrink d-neighbors with the maximum pairing relation. Baked into
+  /// the plan because it determines the candidate and neighbor structures.
+  /// Leave on unless reproducing the un-optimized EMMR/EMVF2MR baselines.
+  bool use_pairing = true;
+
+  /// Build the product-graph skeleton Gp (§5.1) at compile time. Required
+  /// to run the EMVC family from this plan; the MapReduce family and the
+  /// naive chase ignore it.
+  bool build_product_graph = true;
+
+  /// The compilation preset matching a paper algorithm: pairing per the
+  /// algorithm's §4.2/§5.1 prescription, product graph only for EMVC.
+  static PlanOptions For(Algorithm a, int p);
+};
+
+/// An immutable, reusable matching plan: the key set compiled against a
+/// graph. Holds the CompiledKeys (pattern + EMVC tour), per-type d-neighbor
+/// bounds, the candidate list L (optionally pairing-reduced, with ghost
+/// tracking), the entity-dependency index, and — by default — the product
+/// graph skeleton. Produced by Matcher::Compile; executed by Matcher::Run
+/// any number of times, by any algorithm, without recompilation.
+///
+/// A MatchPlan is a cheap, thread-safe handle (shared immutable state);
+/// copies share one compiled representation. The source Graph and KeySet
+/// are referenced, not copied — they must outlive every plan compiled
+/// from them.
+class MatchPlan {
+ public:
+  /// An empty plan; running it yields InvalidArgument. Compile makes
+  /// valid ones.
+  MatchPlan() = default;
+
+  bool valid() const { return rep_ != nullptr; }
+
+  /// The graph and key set this plan was compiled against. These
+  /// reference-returning accessors (and context()/product_graph())
+  /// require valid(); the value-returning ones below are safe on an
+  /// empty plan.
+  const Graph& graph() const { return rep_->ctx.graph(); }
+  const KeySet& keys() const { return *rep_->keys; }
+
+  PlanOptions options() const {
+    return valid() ? rep_->options : PlanOptions{};
+  }
+
+  /// The shared preparation product (compiled keys, candidates, neighbor
+  /// sets, dependency index) the execution engines run over.
+  const EmContext& context() const { return rep_->ctx; }
+
+  bool has_product_graph() const { return valid() && rep_->pg.has_value(); }
+  const ProductGraph& product_graph() const { return *rep_->pg; }
+
+  /// |L| after compilation (post-pairing when enabled). 0 on an empty plan.
+  size_t num_candidates() const {
+    return valid() ? rep_->ctx.candidates().size() : 0;
+  }
+
+  /// Wall-clock seconds compilation took; Matcher::Run reports it as
+  /// EmStats::prep_seconds so amortization stays visible.
+  double compile_seconds() const {
+    return valid() ? rep_->compile_seconds : 0.0;
+  }
+
+ private:
+  friend StatusOr<MatchPlan> CompileMatchPlan(const Graph& g,
+                                              const KeySet& keys,
+                                              const PlanOptions& opts);
+
+  struct Rep {
+    Rep(const Graph& g, const KeySet& k, const PlanOptions& popts,
+        const EmOptions& eopts)
+        : keys(&k), options(popts), ctx(g, k, eopts) {}
+
+    const KeySet* keys;
+    PlanOptions options;
+    EmContext ctx;
+    std::optional<ProductGraph> pg;
+    double compile_seconds = 0.0;
+  };
+
+  explicit MatchPlan(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Compiles `keys` against `g`. Errors surface as Status rather than
+/// asserts: FailedPrecondition for an unfinalized graph, InvalidArgument
+/// for an empty key set or nonsensical options.
+StatusOr<MatchPlan> CompileMatchPlan(const Graph& g, const KeySet& keys,
+                                     const PlanOptions& opts = {});
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_MATCH_PLAN_H_

@@ -1,0 +1,60 @@
+#include "core/matcher.h"
+
+#include "core/chase.h"
+#include "core/em_mapreduce.h"
+#include "core/em_vertexcentric.h"
+
+namespace gkeys {
+
+Status Matcher::Validate(const MatchPlan& plan) const {
+  if (!plan.valid()) {
+    return Status::InvalidArgument(
+        "cannot run an empty MatchPlan: obtain one from Matcher::Compile");
+  }
+  if (options_.processors < 1) {
+    return Status::InvalidArgument("processors must be >= 1, got " +
+                                   std::to_string(options_.processors));
+  }
+  if (options_.bounded_messages < 0) {
+    return Status::InvalidArgument(
+        "bounded_messages must be >= 0 (0 = unbounded), got " +
+        std::to_string(options_.bounded_messages));
+  }
+  if ((algorithm_ == Algorithm::kEmVc || algorithm_ == Algorithm::kEmOptVc) &&
+      !plan.has_product_graph()) {
+    return Status::FailedPrecondition(
+        "the EMVC family needs the product-graph skeleton: compile the "
+        "plan with PlanOptions::build_product_graph");
+  }
+  return Status::OK();
+}
+
+StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
+                                           MatchSink* sink) const {
+  GKEYS_RETURN_IF_ERROR(Validate(plan));
+  StatusOr<MatchResult> r = [&]() -> StatusOr<MatchResult> {
+    switch (algorithm_) {
+      case Algorithm::kNaiveChase:
+        // The oracle's own loop (core/chase.cc) over the plan's context,
+        // so plan-based and standalone chase can never diverge.
+        return RunChase(plan.context(), ChaseOptions{}, options_.use_vf2,
+                        sink);
+      case Algorithm::kEmMr:
+      case Algorithm::kEmVf2Mr:
+      case Algorithm::kEmOptMr:
+        return RunEmMapReduce(plan.context(), options_, sink);
+      case Algorithm::kEmVc:
+      case Algorithm::kEmOptVc:
+        return RunEmVertexCentric(plan.context(), plan.product_graph(),
+                                  options_, sink);
+    }
+    return Status::InvalidArgument("unknown algorithm");
+  }();
+  if (!r.ok()) return r;
+  // Honest accounting for amortized prep: the plan was compiled once,
+  // possibly long ago; every run still reports what that cost.
+  r->stats.prep_seconds = plan.compile_seconds();
+  return r;
+}
+
+}  // namespace gkeys

@@ -1,0 +1,131 @@
+#ifndef GKEYS_CORE_MATCHER_H_
+#define GKEYS_CORE_MATCHER_H_
+
+#include "common/status.h"
+#include "core/em_common.h"
+#include "core/match_plan.h"
+#include "graph/graph.h"
+#include "keys/key.h"
+
+namespace gkeys {
+
+/// The library's session API: compile once, run many (paper §4–§5; all
+/// algorithms share DriverMR's expensive line-1 preparation, so it is
+/// hoisted into an immutable MatchPlan).
+///
+///     gkeys::Graph g = ...;                   // build and Finalize()
+///     gkeys::KeySet keys; keys.AddFromDsl(...);
+///
+///     auto plan = gkeys::Matcher::Compile(g, keys);
+///     if (!plan.ok()) { /* plan.status() */ }
+///
+///     gkeys::Matcher matcher;                 // defaults to EMOptVC
+///     matcher.processors(8);
+///     auto result = matcher.Run(*plan);       // StatusOr<MatchResult>
+///
+///     // The same plan, other algorithms — no recompilation:
+///     auto mr = gkeys::Matcher(gkeys::Algorithm::kEmOptMr).Run(*plan);
+///
+/// Streaming: Run(plan, sink) emits each confirmed pair exactly once and
+/// a progress snapshot per fixpoint round, and polls the sink for
+/// cooperative cancellation (StatusCode::kCancelled).
+///
+/// A Matcher is a small value object holding only configuration; it is
+/// cheap to construct and copy, and one plan can be shared by matchers on
+/// many threads (runs never mutate the plan).
+class Matcher {
+ public:
+  /// Defaults to the paper's best all-round algorithm, EMOptVC.
+  Matcher() : Matcher(Algorithm::kEmOptVc) {}
+  explicit Matcher(Algorithm a) { algorithm(a); }
+
+  /// Compiles `keys` against `g` into a reusable plan. Status errors:
+  /// FailedPrecondition (unfinalized graph), InvalidArgument (empty key
+  /// set, bad options).
+  static StatusOr<MatchPlan> Compile(const Graph& g, const KeySet& keys,
+                                     const PlanOptions& opts = {}) {
+    return CompileMatchPlan(g, keys, opts);
+  }
+
+  // ---- Builder-style configuration ----------------------------------
+  // algorithm() loads the paper preset for `a` (EmOptions::For),
+  // preserving the configured processor count; later setters refine it.
+  // Order matters: set the algorithm first, then override knobs.
+
+  Matcher& algorithm(Algorithm a) {
+    algorithm_ = a;
+    options_ = EmOptions::For(a, options_.processors);
+    return *this;
+  }
+  /// Worker threads for the run (the paper's p).
+  Matcher& processors(int p) {
+    options_.processors = p;
+    return *this;
+  }
+  /// Replace the combined EvalMR search by full VF2 enumeration.
+  Matcher& use_vf2(bool v) {
+    options_.use_vf2 = v;
+    return *this;
+  }
+  /// §4.2: process value-based pairs first (L0 seeds; MapReduce family).
+  Matcher& use_dependency(bool v) {
+    options_.use_dependency = v;
+    return *this;
+  }
+  /// §4.2: re-check a pair only after one of its dependencies fired.
+  Matcher& use_incremental(bool v) {
+    options_.use_incremental = v;
+    return *this;
+  }
+  /// §5.2: per-(pair, key) message budget k; 0 = unbounded.
+  Matcher& bounded_messages(int k) {
+    options_.bounded_messages = k;
+    return *this;
+  }
+  /// §5.2: prioritized propagation (highest-potential edges first).
+  Matcher& prioritized(bool v) {
+    options_.prioritized = v;
+    return *this;
+  }
+  /// Replaces the whole option set at once (for callers that already
+  /// hold an EmOptions, e.g. the legacy wrappers and ablation benches).
+  Matcher& options(const EmOptions& opts) {
+    options_ = opts;
+    return *this;
+  }
+
+  Algorithm algorithm() const { return algorithm_; }
+  const EmOptions& options() const { return options_; }
+
+  // ---- Execution -----------------------------------------------------
+
+  /// Runs the configured algorithm over a compiled plan and materializes
+  /// the full result. Status errors instead of asserts: InvalidArgument
+  /// (invalid plan or options), FailedPrecondition (EMVC family on a plan
+  /// compiled without its product graph).
+  StatusOr<MatchResult> Run(const MatchPlan& plan) const {
+    return RunWithSink(plan, nullptr);
+  }
+
+  /// Streaming run: identified pairs and per-round progress go to `sink`
+  /// as the fixpoint advances (each pair exactly once; at least one
+  /// OnProgress per round; serialized callbacks — see MatchSink). The
+  /// returned result is the same one a non-streaming Run yields. If the
+  /// sink requests cancellation the run stops at the next round boundary
+  /// with StatusCode::kCancelled.
+  StatusOr<MatchResult> Run(const MatchPlan& plan, MatchSink& sink) const {
+    return RunWithSink(plan, &sink);
+  }
+
+ private:
+  Status Validate(const MatchPlan& plan) const;
+  StatusOr<MatchResult> RunWithSink(const MatchPlan& plan,
+                                    MatchSink* sink) const;
+
+  Algorithm algorithm_ = Algorithm::kEmOptVc;
+  EmOptions options_;
+};
+
+}  // namespace gkeys
+
+#endif  // GKEYS_CORE_MATCHER_H_

@@ -37,7 +37,7 @@ Status KeySet::AddFromDsl(std::string_view dsl) {
 }
 
 std::vector<int> KeySet::KeysForType(std::string_view type) const {
-  auto it = by_type_.find(std::string(type));
+  auto it = by_type_.find(type);  // heterogeneous: no temporary string
   if (it == by_type_.end()) return {};
   return it->second;
 }
@@ -51,8 +51,10 @@ std::vector<std::string> KeySet::KeyedTypes() const {
 }
 
 int KeySet::MaxRadiusForType(std::string_view type) const {
+  auto it = by_type_.find(type);  // heterogeneous: no temporary string
+  if (it == by_type_.end()) return 0;
   int d = 0;
-  for (int i : KeysForType(type)) d = std::max(d, keys_[i].radius());
+  for (int i : it->second) d = std::max(d, keys_[i].radius());
   return d;
 }
 

@@ -3,9 +3,9 @@
 
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "pattern/parser.h"
 #include "pattern/pattern.h"
@@ -78,9 +78,10 @@ class KeySet {
   /// All types some key is defined on.
   std::vector<std::string> KeyedTypes() const;
 
-  /// Whether any key is defined on `type`.
+  /// Whether any key is defined on `type`. Heterogeneous lookup: no
+  /// std::string is materialized per call.
   bool HasKeyForType(std::string_view type) const {
-    return by_type_.count(std::string(type)) > 0;
+    return by_type_.find(type) != by_type_.end();
   }
 
   /// The d-neighbor bound for entities of `type`: the maximum radius of
@@ -102,15 +103,14 @@ class KeySet {
   std::vector<std::string> ValueBasedTypes() const;
 
   /// τ → { τ' : some key on τ references an entity variable of type τ' }.
-  const std::unordered_map<std::string, std::vector<std::string>>&
-  TypeDependencies() const {
+  const StringMap<std::vector<std::string>>& TypeDependencies() const {
     return type_deps_;
   }
 
  private:
   std::vector<Key> keys_;
-  std::unordered_map<std::string, std::vector<int>> by_type_;
-  std::unordered_map<std::string, std::vector<std::string>> type_deps_;
+  StringMap<std::vector<int>> by_type_;
+  StringMap<std::vector<std::string>> type_deps_;
   size_t total_size_ = 0;
 };
 

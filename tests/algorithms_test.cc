@@ -23,7 +23,21 @@ std::string ParamName(const ::testing::TestParamInfo<AlgoParam>& info) {
          std::to_string(info.param.processors);
 }
 
-class AlgorithmsTest : public ::testing::TestWithParam<AlgoParam> {};
+class AlgorithmsTest : public ::testing::TestWithParam<AlgoParam> {
+ protected:
+  // The matrix runs through the session API: compile a plan with the
+  // algorithm's preset, then execute it.
+  MatchResult Match(const SyntheticDataset& ds) const {
+    Algorithm a = GetParam().algorithm;
+    int p = GetParam().processors;
+    auto plan = Matcher::Compile(ds.graph, ds.keys, PlanOptions::For(a, p));
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (!plan.ok()) return {};
+    auto r = Matcher(a).processors(p).Run(*plan);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *std::move(r) : MatchResult{};
+  }
+};
 
 TEST_P(AlgorithmsTest, MatchesOracleOnSynthetic) {
   SyntheticConfig cfg;
@@ -35,8 +49,7 @@ TEST_P(AlgorithmsTest, MatchesOracleOnSynthetic) {
   SyntheticDataset ds = GenerateSynthetic(cfg);
   MatchResult oracle = Chase(ds.graph, ds.keys);
   EXPECT_EQ(oracle.pairs, ds.planted) << "generator ground truth";
-  MatchResult r = MatchEntities(ds.graph, ds.keys, GetParam().algorithm,
-                                GetParam().processors);
+  MatchResult r = Match(ds);
   EXPECT_EQ(r.pairs, oracle.pairs);
 }
 
@@ -46,8 +59,7 @@ TEST_P(AlgorithmsTest, MatchesOracleOnGoogleSim) {
   SyntheticDataset ds = GenerateGoogleSim(cfg);
   MatchResult oracle = Chase(ds.graph, ds.keys);
   EXPECT_EQ(oracle.pairs, ds.planted);
-  MatchResult r = MatchEntities(ds.graph, ds.keys, GetParam().algorithm,
-                                GetParam().processors);
+  MatchResult r = Match(ds);
   EXPECT_EQ(r.pairs, oracle.pairs);
 }
 
@@ -57,8 +69,7 @@ TEST_P(AlgorithmsTest, MatchesOracleOnDBpediaSim) {
   SyntheticDataset ds = GenerateDBpediaSim(cfg);
   MatchResult oracle = Chase(ds.graph, ds.keys);
   EXPECT_EQ(oracle.pairs, ds.planted);
-  MatchResult r = MatchEntities(ds.graph, ds.keys, GetParam().algorithm,
-                                GetParam().processors);
+  MatchResult r = Match(ds);
   EXPECT_EQ(r.pairs, oracle.pairs);
 }
 
@@ -72,8 +83,7 @@ TEST_P(AlgorithmsTest, LongChainResolves) {
   cfg.chained_fraction = 1.0;  // every duplicate requires the full chain
   cfg.seed = 5;
   SyntheticDataset ds = GenerateSynthetic(cfg);
-  MatchResult r = MatchEntities(ds.graph, ds.keys, GetParam().algorithm,
-                                GetParam().processors);
+  MatchResult r = Match(ds);
   EXPECT_EQ(r.pairs, ds.planted);
 }
 
@@ -85,8 +95,7 @@ TEST_P(AlgorithmsTest, NoDuplicatesMeansEmptyResult) {
   cfg.duplicate_fraction = 0.0;
   SyntheticDataset ds = GenerateSynthetic(cfg);
   ASSERT_TRUE(ds.planted.empty());
-  MatchResult r = MatchEntities(ds.graph, ds.keys, GetParam().algorithm,
-                                GetParam().processors);
+  MatchResult r = Match(ds);
   EXPECT_TRUE(r.pairs.empty());
 }
 
@@ -96,8 +105,7 @@ TEST_P(AlgorithmsTest, ConfirmedStatMatchesOutput) {
   cfg.chain_length = 2;
   cfg.entities_per_type = 12;
   SyntheticDataset ds = GenerateSynthetic(cfg);
-  MatchResult r = MatchEntities(ds.graph, ds.keys, GetParam().algorithm,
-                                GetParam().processors);
+  MatchResult r = Match(ds);
   EXPECT_EQ(r.stats.confirmed, r.pairs.size());
   EXPECT_GT(r.stats.candidates, 0u);
   EXPECT_LE(r.stats.candidates, r.stats.candidates_initial);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/chase.h"
 #include "test_util.h"
 
 namespace gkeys {
@@ -119,6 +120,93 @@ TEST(KeySet, AddFromDslPropagatesParseErrors) {
   KeySet keys;
   EXPECT_FALSE(keys.AddFromDsl("key broken {").ok());
   EXPECT_TRUE(keys.empty());
+}
+
+// ---- DSL round-tripping: ToDsl → AddFromDsl reproduces the key set ---------
+
+// Structural equivalence of two keys: same name, type, size, radius,
+// recursiveness, and dependency types.
+void ExpectEquivalent(const Key& a, const Key& b) {
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.type(), b.type());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.radius(), b.radius());
+  EXPECT_EQ(a.recursive(), b.recursive());
+  EXPECT_EQ(a.dependency_types(), b.dependency_types());
+}
+
+TEST(KeyDsl, SingleKeyRoundTrip) {
+  auto parsed = ParseKey(R"(
+    key Q1 for album {
+      x -[name_of]-> n*
+      x -[recorded_by]-> y:artist
+    }
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Key original(parsed->name, std::move(parsed->pattern));
+
+  auto reparsed = ParseKey(ToDsl(original));
+  ASSERT_TRUE(reparsed.ok()) << ToDsl(original);
+  Key round_tripped(reparsed->name, std::move(reparsed->pattern));
+  ExpectEquivalent(original, round_tripped);
+  // The rendering is canonical: a second round trip is a fixed point.
+  EXPECT_EQ(ToDsl(original), ToDsl(round_tripped));
+}
+
+TEST(KeyDsl, KeySetRoundTripMutuallyRecursive) {
+  KeySet original = testing::MakeSigma1();  // Q1–Q3, mutual recursion
+  KeySet round_tripped;
+  ASSERT_TRUE(round_tripped.AddFromDsl(ToDsl(original)).ok())
+      << ToDsl(original);
+  ASSERT_EQ(round_tripped.count(), original.count());
+  for (size_t i = 0; i < original.count(); ++i) {
+    ExpectEquivalent(original.key(i), round_tripped.key(i));
+  }
+  EXPECT_EQ(round_tripped.TotalSize(), original.TotalSize());
+  EXPECT_EQ(round_tripped.KeyedTypes(), original.KeyedTypes());
+  EXPECT_EQ(round_tripped.LongestDependencyChain(),
+            original.LongestDependencyChain());
+  EXPECT_EQ(ToDsl(original), ToDsl(round_tripped));
+}
+
+TEST(KeyDsl, KeySetRoundTripWildcardsValuesAndConstants) {
+  // Every variable kind the DSL can express: value variables, entity
+  // variables (recursion), wildcards, and a constant literal.
+  KeySet original;
+  ASSERT_TRUE(original.AddFromDsl(R"(
+    key WildValue for doc {
+      x -[first]-> _l:sec
+      x -[second]-> _r:sec
+      _l -[hash]-> h1*
+      _r -[hash]-> h2*
+    }
+    key WithConstant for doc {
+      x -[lang]-> "en"
+      x -[title]-> t*
+    }
+    key Recursive for sec {
+      x -[hash]-> h*
+      y:doc -[first]-> x
+    }
+  )").ok());
+  KeySet round_tripped;
+  ASSERT_TRUE(round_tripped.AddFromDsl(ToDsl(original)).ok())
+      << ToDsl(original);
+  ASSERT_EQ(round_tripped.count(), original.count());
+  for (size_t i = 0; i < original.count(); ++i) {
+    ExpectEquivalent(original.key(i), round_tripped.key(i));
+  }
+  EXPECT_EQ(ToDsl(original), ToDsl(round_tripped));
+}
+
+TEST(KeyDsl, RoundTrippedKeysMatchTheSameEntities) {
+  // The behavioral check: the round-tripped Σ1 identifies exactly the
+  // same pairs on the paper's G1.
+  auto m = testing::MakeG1();
+  KeySet original = testing::MakeSigma1();
+  KeySet round_tripped;
+  ASSERT_TRUE(round_tripped.AddFromDsl(ToDsl(original)).ok());
+  EXPECT_EQ(Chase(m.g, original).pairs, Chase(m.g, round_tripped).pairs);
 }
 
 }  // namespace

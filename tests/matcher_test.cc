@@ -1,0 +1,306 @@
+// The plan-based session API: compile-once/run-many, streaming sinks,
+// Status-based error paths, and the EmOptions::For preset contract
+// (Proposition 1 oracle check through the new Matcher surface).
+
+#include "core/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/entity_matcher.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace gkeys {
+namespace {
+
+using testing::Pairs;
+
+// A sink that records everything it receives.
+class RecordingSink : public MatchSink {
+ public:
+  void OnPair(NodeId a, NodeId b) override { pairs.emplace_back(a, b); }
+  void OnProgress(const EmStats& progress) override {
+    progress_calls.push_back(progress);
+  }
+  bool cancelled() override { return cancel_after > 0 &&
+      progress_calls.size() >= static_cast<size_t>(cancel_after); }
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<EmStats> progress_calls;
+  int cancel_after = 0;  // cancel once this many progress calls were seen
+};
+
+SyntheticDataset SmallWorkload() {
+  SyntheticConfig cfg;
+  cfg.seed = 7;
+  cfg.num_groups = 2;
+  cfg.chain_length = 2;
+  cfg.radius = 2;
+  cfg.entities_per_type = 25;
+  return GenerateSynthetic(cfg);
+}
+
+// ---- Compile-once / run-many ----------------------------------------------
+
+TEST(Matcher, OnePlanServesManyAlgorithms) {
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+
+  auto plan = Matcher::Compile(m.g, sigma1);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->valid());
+  EXPECT_TRUE(plan->has_product_graph());
+  EXPECT_EQ(&plan->graph(), &m.g);
+  EXPECT_EQ(&plan->keys(), &sigma1);
+
+  const auto expected = Pairs({{m.alb1, m.alb2}, {m.art1, m.art2}});
+  // The acceptance pair (kEmOptMr, kEmVc) plus the rest of the family —
+  // all from the SAME compiled plan, no recompilation.
+  for (Algorithm a : {Algorithm::kEmOptMr, Algorithm::kEmVc,
+                      Algorithm::kEmMr, Algorithm::kEmVf2Mr,
+                      Algorithm::kEmOptVc, Algorithm::kNaiveChase}) {
+    auto r = Matcher(a).processors(2).Run(*plan);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(a) << ": " << r.status().ToString();
+    EXPECT_EQ(r->pairs, expected) << AlgorithmName(a);
+    // Every run reports the amortized compile cost, not a fresh prep.
+    EXPECT_DOUBLE_EQ(r->stats.prep_seconds, plan->compile_seconds());
+  }
+}
+
+TEST(Matcher, PlanReuseOnGeneratedWorkload) {
+  SyntheticDataset ds = SmallWorkload();
+  auto plan = Matcher::Compile(ds.graph, ds.keys, PlanOptions{.processors = 2});
+  ASSERT_TRUE(plan.ok());
+  for (Algorithm a : {Algorithm::kEmOptMr, Algorithm::kEmVc}) {
+    auto r = Matcher(a).processors(2).Run(*plan);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->pairs, ds.planted) << AlgorithmName(a);
+  }
+}
+
+TEST(Matcher, PlanIsACheapSharedHandle) {
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+  auto plan = Matcher::Compile(m.g, sigma1);
+  ASSERT_TRUE(plan.ok());
+  MatchPlan copy = *plan;  // shares the compiled representation
+  EXPECT_EQ(&copy.context(), &plan->context());
+  auto r = Matcher(Algorithm::kEmOptVc).Run(copy);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->pairs, Pairs({{m.alb1, m.alb2}, {m.art1, m.art2}}));
+}
+
+// ---- Preset contract (§6 algorithm table) ---------------------------------
+
+TEST(Matcher, PresetsMatchThePaperFlagCombinations) {
+  // kNaiveChase / kEmMr: everything off.
+  for (Algorithm a : {Algorithm::kNaiveChase, Algorithm::kEmMr}) {
+    EmOptions o = EmOptions::For(a, 3);
+    EXPECT_EQ(o.processors, 3);
+    EXPECT_FALSE(o.use_vf2);
+    EXPECT_FALSE(o.use_pairing);
+    EXPECT_FALSE(o.use_dependency);
+    EXPECT_FALSE(o.use_incremental);
+    EXPECT_EQ(o.bounded_messages, 0);
+    EXPECT_FALSE(o.prioritized);
+  }
+  // kEmVf2Mr: full enumeration only.
+  EmOptions vf2 = EmOptions::For(Algorithm::kEmVf2Mr, 3);
+  EXPECT_TRUE(vf2.use_vf2);
+  EXPECT_FALSE(vf2.use_pairing);
+  // kEmOptMr: the three §4.2 optimizations.
+  EmOptions opt_mr = EmOptions::For(Algorithm::kEmOptMr, 3);
+  EXPECT_TRUE(opt_mr.use_pairing);
+  EXPECT_TRUE(opt_mr.use_dependency);
+  EXPECT_TRUE(opt_mr.use_incremental);
+  EXPECT_FALSE(opt_mr.use_vf2);
+  // kEmVc: product graph from pairing, no §5.2 extras.
+  EmOptions vc = EmOptions::For(Algorithm::kEmVc, 3);
+  EXPECT_TRUE(vc.use_pairing);
+  EXPECT_EQ(vc.bounded_messages, 0);
+  EXPECT_FALSE(vc.prioritized);
+  // kEmOptVc: bounded messages (the paper's k = 4) + prioritization.
+  EmOptions opt_vc = EmOptions::For(Algorithm::kEmOptVc, 3);
+  EXPECT_TRUE(opt_vc.use_pairing);
+  EXPECT_EQ(opt_vc.bounded_messages, 4);
+  EXPECT_TRUE(opt_vc.prioritized);
+
+  // Matcher(a) loads exactly the preset.
+  EXPECT_EQ(Matcher(Algorithm::kEmOptVc).options().bounded_messages, 4);
+  EXPECT_TRUE(Matcher(Algorithm::kEmOptMr).options().use_incremental);
+}
+
+TEST(Matcher, AllPresetsAgreeWithTheOracleOnMutualRecursion) {
+  // Proposition 1 through the new surface: every algorithm preset (each
+  // with its own PlanOptions::For compilation) returns the oracle's pairs
+  // on the paper's mutually recursive music fixture.
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+  const auto expected = Pairs({{m.alb1, m.alb2}, {m.art1, m.art2}});
+  for (Algorithm a : {Algorithm::kNaiveChase, Algorithm::kEmMr,
+                      Algorithm::kEmVf2Mr, Algorithm::kEmOptMr,
+                      Algorithm::kEmVc, Algorithm::kEmOptVc}) {
+    auto plan = Matcher::Compile(m.g, sigma1, PlanOptions::For(a, 2));
+    ASSERT_TRUE(plan.ok()) << AlgorithmName(a);
+    auto r = Matcher(a).processors(2).Run(*plan);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(a) << ": " << r.status().ToString();
+    EXPECT_EQ(r->pairs, expected) << AlgorithmName(a);
+  }
+}
+
+// ---- Streaming -------------------------------------------------------------
+
+TEST(Matcher, StreamingSinkReceivesEveryPairExactlyOnce) {
+  SyntheticDataset ds = SmallWorkload();
+  for (Algorithm a : {Algorithm::kEmOptMr, Algorithm::kEmVc,
+                      Algorithm::kEmOptVc, Algorithm::kNaiveChase}) {
+    auto plan = Matcher::Compile(ds.graph, ds.keys, PlanOptions::For(a, 2));
+    ASSERT_TRUE(plan.ok());
+    RecordingSink sink;
+    auto r = Matcher(a).processors(2).Run(*plan, sink);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(a) << ": " << r.status().ToString();
+
+    // Exactly once: no duplicates, and the streamed set equals the result.
+    std::set<std::pair<NodeId, NodeId>> unique(sink.pairs.begin(),
+                                               sink.pairs.end());
+    EXPECT_EQ(unique.size(), sink.pairs.size()) << AlgorithmName(a);
+    std::vector<std::pair<NodeId, NodeId>> sorted(unique.begin(),
+                                                  unique.end());
+    EXPECT_EQ(sorted, r->pairs) << AlgorithmName(a);
+    EXPECT_EQ(r->pairs, ds.planted) << AlgorithmName(a);
+
+    // At least one progress callback per round.
+    EXPECT_GE(sink.progress_calls.size(), r->stats.rounds)
+        << AlgorithmName(a);
+    EXPECT_GT(sink.progress_calls.size(), 0u) << AlgorithmName(a);
+    // Progress is cumulative and monotone in confirmed pairs.
+    size_t last = 0;
+    for (const EmStats& s : sink.progress_calls) {
+      EXPECT_GE(s.confirmed, last) << AlgorithmName(a);
+      last = s.confirmed;
+    }
+  }
+}
+
+TEST(Matcher, StreamingMutualRecursionSeesBothPairs) {
+  // The artist pair is only identifiable after the album pair merges
+  // (recursive key Q3): streaming must still deliver both, each once.
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+  auto plan = Matcher::Compile(m.g, sigma1);
+  ASSERT_TRUE(plan.ok());
+  RecordingSink sink;
+  auto r = Matcher(Algorithm::kEmOptVc).processors(2).Run(*plan, sink);
+  ASSERT_TRUE(r.ok());
+  std::vector<std::pair<NodeId, NodeId>> sorted = sink.pairs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, Pairs({{m.alb1, m.alb2}, {m.art1, m.art2}}));
+}
+
+TEST(Matcher, CooperativeCancellationSurfacesAsCancelled) {
+  SyntheticDataset ds = SmallWorkload();
+  for (Algorithm a : {Algorithm::kEmOptMr, Algorithm::kNaiveChase}) {
+    auto plan = Matcher::Compile(ds.graph, ds.keys, PlanOptions::For(a, 2));
+    ASSERT_TRUE(plan.ok());
+    RecordingSink sink;
+    sink.cancel_after = 1;  // stop at the first round boundary
+    auto r = Matcher(a).processors(2).Run(*plan, sink);
+    ASSERT_FALSE(r.ok()) << AlgorithmName(a);
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << AlgorithmName(a);
+    EXPECT_EQ(sink.progress_calls.size(), 1u) << AlgorithmName(a);
+  }
+}
+
+// ---- Error paths -----------------------------------------------------------
+
+TEST(Matcher, UnfinalizedGraphIsAStatusNotAnAssert) {
+  Graph g;
+  NodeId a = g.AddEntity("t");
+  NodeId b = g.AddEntity("t");
+  (void)g.AddTriple(a, "p", g.AddValue("v"));
+  (void)g.AddTriple(b, "p", g.AddValue("v"));
+  // No Finalize().
+  KeySet keys;
+  ASSERT_TRUE(keys.AddFromDsl("key K for t { x -[p]-> v* }").ok());
+  auto plan = Matcher::Compile(g, keys);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Matcher, EmptyKeySetIsInvalidArgument) {
+  auto m = testing::MakeG1();
+  KeySet empty;
+  auto plan = Matcher::Compile(m.g, empty);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Matcher, InvalidOptionsAreInvalidArgument) {
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+
+  // Bad compile options.
+  auto bad_plan =
+      Matcher::Compile(m.g, sigma1, PlanOptions{.processors = 0});
+  ASSERT_FALSE(bad_plan.ok());
+  EXPECT_EQ(bad_plan.status().code(), StatusCode::kInvalidArgument);
+
+  auto plan = Matcher::Compile(m.g, sigma1);
+  ASSERT_TRUE(plan.ok());
+
+  // Bad run options.
+  auto r1 = Matcher(Algorithm::kEmOptVc).processors(0).Run(*plan);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  auto r2 = Matcher(Algorithm::kEmOptVc).bounded_messages(-1).Run(*plan);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // Empty (default-constructed) plan.
+  MatchPlan empty;
+  auto r3 = Matcher(Algorithm::kEmOptVc).Run(empty);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Matcher, VcOnPlanWithoutProductGraphIsFailedPrecondition) {
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+  PlanOptions popts;
+  popts.build_product_graph = false;
+  auto plan = Matcher::Compile(m.g, sigma1, popts);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->has_product_graph());
+
+  auto vc = Matcher(Algorithm::kEmVc).Run(*plan);
+  ASSERT_FALSE(vc.ok());
+  EXPECT_EQ(vc.status().code(), StatusCode::kFailedPrecondition);
+
+  // The MapReduce family does not need the skeleton.
+  auto mr = Matcher(Algorithm::kEmOptMr).Run(*plan);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(mr->pairs, Pairs({{m.alb1, m.alb2}, {m.art1, m.art2}}));
+}
+
+// ---- Legacy wrappers -------------------------------------------------------
+
+TEST(Matcher, LegacyFreeFunctionStillAgrees) {
+  auto m = testing::MakeG1();
+  KeySet sigma1 = testing::MakeSigma1();
+  auto plan = Matcher::Compile(m.g, sigma1);
+  ASSERT_TRUE(plan.ok());
+  auto via_plan = Matcher(Algorithm::kEmOptVc).processors(2).Run(*plan);
+  ASSERT_TRUE(via_plan.ok());
+  MatchResult legacy =
+      MatchEntities(m.g, sigma1, Algorithm::kEmOptVc, /*processors=*/2);
+  EXPECT_EQ(legacy.pairs, via_plan->pairs);
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   gkeys match <graph.triples> <keys.dsl> [--algorithm=NAME] [--processors=N]
-//               [--provenance] [--fuse=OUT.triples]
+//               [--stream] [--provenance] [--fuse=OUT.triples]
 //   gkeys check <graph.triples> <keys.dsl>
 //   gkeys discover <graph.triples> [--max-attrs=N] [--min-coverage=F]
 //   gkeys generate <out.triples> [--scale=F] [--c=N] [--d=N] [--seed=N]
@@ -29,7 +29,7 @@ int Usage() {
                "usage: gkeys <match|check|discover|generate|stats> ...\n"
                "  match <graph> <keys.dsl> [--algorithm=EMMR|EMVF2MR|"
                "EMOptMR|EMVC|EMOptVC|NaiveChase] [--processors=N]\n"
-               "        [--provenance] [--fuse=out.triples]\n"
+               "        [--stream] [--provenance] [--fuse=out.triples]\n"
                "  check <graph> <keys.dsl>\n"
                "  discover <graph> [--max-attrs=N] [--min-coverage=F]\n"
                "  generate <out> [--scale=F] [--c=N] [--d=N] [--seed=N]\n"
@@ -110,15 +110,64 @@ int CmdMatch(int argc, char** argv) {
     return 0;
   }
 
-  MatchResult r = MatchEntities(*graph, *keys, algo, p);
-  std::printf("# algorithm=%s p=%d pairs=%zu candidates=%zu rounds=%zu "
-              "time=%.1fms\n",
-              AlgorithmName(algo).c_str(), p, r.pairs.size(),
-              r.stats.candidates, r.stats.rounds,
-              (r.stats.prep_seconds + r.stats.run_seconds) * 1e3);
-  for (auto [a, b] : r.pairs) {
-    std::printf("%s == %s\n", graph->DescribeNode(a).c_str(),
-                graph->DescribeNode(b).c_str());
+  // Compile once, then execute — matching errors (unfinalized graph,
+  // empty key set, bad options) surface as Status, not asserts.
+  auto plan = Matcher::Compile(*graph, *keys, PlanOptions::For(algo, p));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  Matcher matcher(algo);
+  matcher.processors(p);
+
+  MatchResult r;
+  if (HasFlag(argc, argv, "--stream")) {
+    // Streaming mode: pairs print the moment the fixpoint confirms them,
+    // round progress goes to stderr.
+    class PrintSink : public MatchSink {
+     public:
+      explicit PrintSink(const Graph& g) : g_(g) {}
+      void OnPair(NodeId a, NodeId b) override {
+        std::printf("%s == %s\n", g_.DescribeNode(a).c_str(),
+                    g_.DescribeNode(b).c_str());
+      }
+      void OnProgress(const EmStats& s) override {
+        std::fprintf(stderr, "# round %zu: %zu pair(s) confirmed\n",
+                     s.rounds, s.confirmed);
+      }
+
+     private:
+      const Graph& g_;
+    };
+    PrintSink sink(*graph);
+    auto run = matcher.Run(*plan, sink);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    r = *std::move(run);
+    std::printf("# algorithm=%s p=%d pairs=%zu candidates=%zu rounds=%zu "
+                "prep=%.1fms run=%.1fms\n",
+                AlgorithmName(algo).c_str(), p, r.pairs.size(),
+                r.stats.candidates, r.stats.rounds,
+                r.stats.prep_seconds * 1e3, r.stats.run_seconds * 1e3);
+  } else {
+    auto run = matcher.Run(*plan);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    r = *std::move(run);
+    // Summary first, as before this API migration — scripts parse it.
+    std::printf("# algorithm=%s p=%d pairs=%zu candidates=%zu rounds=%zu "
+                "prep=%.1fms run=%.1fms\n",
+                AlgorithmName(algo).c_str(), p, r.pairs.size(),
+                r.stats.candidates, r.stats.rounds,
+                r.stats.prep_seconds * 1e3, r.stats.run_seconds * 1e3);
+    for (auto [a, b] : r.pairs) {
+      std::printf("%s == %s\n", graph->DescribeNode(a).c_str(),
+                  graph->DescribeNode(b).c_str());
+    }
   }
 
   std::string fuse_out = FlagValue(argc, argv, "--fuse", "");
