@@ -87,9 +87,11 @@ void RegisterAll() {
 }  // namespace gkeys
 
 int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gkeys::bench::FlushJson();
   return 0;
 }

@@ -145,4 +145,12 @@ BENCHMARK(BM_ConcurrentUnionFindOps);
 }  // namespace bench
 }  // namespace gkeys
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  gkeys::bench::FlushJson();
+  return 0;
+}

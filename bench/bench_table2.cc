@@ -16,7 +16,7 @@ void RegisterAll() {
     std::string name = "Table2/" + DatasetName(ds);
     benchmark::RegisterBenchmark(
         name.c_str(),
-        [ds](benchmark::State& state) {
+        [ds, name](benchmark::State& state) {
           SyntheticDataset data = MakeDataset(ds, /*scale=*/1.0);
           // One plan, two algorithms: EMOptVC and EMOptMR share the same
           // compiled preparation (both use pairing; the skeleton serves VC).
@@ -45,6 +45,8 @@ void RegisterAll() {
           }
           state.counters["candidates_raw"] =
               static_cast<double>(mr.stats.candidates_initial);
+          state.counters["candidates_blocked"] =
+              static_cast<double>(mr.stats.candidates_blocked);
           state.counters["candidates_optmr"] =
               static_cast<double>(mr.stats.candidates);
           // EMOptVC's effective candidates: pairs represented in Gp.
@@ -52,6 +54,12 @@ void RegisterAll() {
               static_cast<double>(vc.stats.candidates);
           state.counters["confirmed"] =
               static_cast<double>(vc.pairs.size());
+          state.counters["prep_s"] = plan->compile_seconds();
+          state.counters["run_s"] = vc.stats.run_seconds;
+          JsonMatchRow(name + "/EMOptVC", data, vc,
+                       plan->compile_seconds());
+          JsonMatchRow(name + "/EMOptMR", data, mr,
+                       plan->compile_seconds());
         })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
@@ -63,9 +71,11 @@ void RegisterAll() {
 }  // namespace gkeys
 
 int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gkeys::bench::FlushJson();
   return 0;
 }

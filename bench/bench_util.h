@@ -3,8 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/entity_matcher.h"
@@ -13,6 +15,71 @@
 
 namespace gkeys {
 namespace bench {
+
+// ---- Machine-readable results (--json=<path>) -------------------------------
+//
+// Every bench main accepts --json=<path> in addition to the standard
+// benchmark flags. Each timed configuration appends one row of numeric
+// fields (graph size, prep_s, run_s, pairs, counters); FlushJson() writes
+// them as a JSON array so CI can archive a perf trajectory per commit.
+
+struct JsonSink {
+  std::string path;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      rows;
+
+  static JsonSink& Get() {
+    static JsonSink sink;
+    return sink;
+  }
+};
+
+/// Consumes a --json=<path> argument before benchmark::Initialize (which
+/// rejects flags it does not know).
+inline void InitJson(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      JsonSink::Get().path = arg.substr(7);
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      argv[*argc] = nullptr;  // keep the argv[argc] == nullptr sentinel
+      --i;
+    }
+  }
+}
+
+/// Appends one result row (no-op unless --json was given).
+inline void JsonRow(
+    const std::string& name,
+    std::vector<std::pair<std::string, double>> fields) {
+  JsonSink& sink = JsonSink::Get();
+  if (sink.path.empty()) return;
+  sink.rows.emplace_back(name, std::move(fields));
+}
+
+/// Writes all recorded rows. Call once, after RunSpecifiedBenchmarks.
+inline void FlushJson() {
+  JsonSink& sink = JsonSink::Get();
+  if (sink.path.empty()) return;
+  FILE* f = std::fopen(sink.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", sink.path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < sink.rows.size(); ++i) {
+    const auto& [name, fields] = sink.rows[i];
+    std::fprintf(f, "  {\"name\": \"%s\"", name.c_str());
+    for (const auto& [key, value] : fields) {
+      std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 == sink.rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
 
 /// The three evaluation datasets of paper §6.
 enum class Dataset { kGoogle, kDBpedia, kSynthetic };
@@ -75,6 +142,27 @@ inline void ExportCounters(benchmark::State& state, const MatchResult& r) {
   state.counters["messages"] = static_cast<double>(r.stats.messages);
 }
 
+/// The standard JSON row for one entity-matching configuration.
+inline void JsonMatchRow(const std::string& name,
+                         const SyntheticDataset& ds, const MatchResult& r,
+                         double prep_s) {
+  JsonRow(name,
+          {{"nodes", static_cast<double>(ds.graph.NumNodes())},
+           {"triples", static_cast<double>(ds.graph.NumTriples())},
+           {"prep_s", prep_s},
+           {"run_s", r.stats.run_seconds},
+           {"pairs", static_cast<double>(r.pairs.size())},
+           {"candidates_initial",
+            static_cast<double>(r.stats.candidates_initial)},
+           {"candidates_blocked",
+            static_cast<double>(r.stats.candidates_blocked)},
+           {"candidates", static_cast<double>(r.stats.candidates)},
+           {"rounds", static_cast<double>(r.stats.rounds)},
+           {"iso_checks", static_cast<double>(r.stats.iso_checks)},
+           {"messages", static_cast<double>(r.stats.messages)},
+           {"plan_bytes", static_cast<double>(r.stats.plan_bytes)}});
+}
+
 /// One timed entity-matching run, reused by the figure benchmarks. The
 /// plan is compiled ONCE outside the timing loop (the compile-once/
 /// run-many contract of Matcher), so iterations measure the fixpoint
@@ -82,7 +170,8 @@ inline void ExportCounters(benchmark::State& state, const MatchResult& r) {
 /// `prep_s` counter next to the per-run `run_s`.
 inline void RunEntityMatching(benchmark::State& state,
                               const SyntheticDataset& ds, Algorithm algo,
-                              int processors) {
+                              int processors,
+                              const std::string& json_name = "") {
   auto plan = Matcher::Compile(ds.graph, ds.keys,
                                PlanOptions::For(algo, processors));
   if (!plan.ok()) {
@@ -110,6 +199,9 @@ inline void RunEntityMatching(benchmark::State& state,
   ExportCounters(state, last);
   state.counters["prep_s"] = plan->compile_seconds();
   state.counters["run_s"] = last.stats.run_seconds;
+  if (!json_name.empty()) {
+    JsonMatchRow(json_name, ds, last, plan->compile_seconds());
+  }
 }
 
 }  // namespace bench

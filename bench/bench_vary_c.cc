@@ -20,8 +20,8 @@ void RegisterAll() {
                          "/c:" + std::to_string(c);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [data, algo](benchmark::State& state) {
-            RunEntityMatching(state, *data, algo, /*processors=*/4);
+          [data, algo, name](benchmark::State& state) {
+            RunEntityMatching(state, *data, algo, /*processors=*/4, name);
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
@@ -37,8 +37,8 @@ void RegisterAll() {
                          AlgorithmName(algo) + "/c:native";
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [data, algo](benchmark::State& state) {
-            RunEntityMatching(state, *data, algo, /*processors=*/4);
+          [data, algo, name](benchmark::State& state) {
+            RunEntityMatching(state, *data, algo, /*processors=*/4, name);
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
@@ -51,9 +51,11 @@ void RegisterAll() {
 }  // namespace gkeys
 
 int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gkeys::bench::FlushJson();
   return 0;
 }

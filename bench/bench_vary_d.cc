@@ -19,8 +19,8 @@ void RegisterAll() {
                          "/d:" + std::to_string(d);
       benchmark::RegisterBenchmark(
           name.c_str(),
-          [data, algo](benchmark::State& state) {
-            RunEntityMatching(state, *data, algo, /*processors=*/4);
+          [data, algo, name](benchmark::State& state) {
+            RunEntityMatching(state, *data, algo, /*processors=*/4, name);
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
@@ -61,9 +61,11 @@ void RegisterAll() {
 }  // namespace gkeys
 
 int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gkeys::bench::FlushJson();
   return 0;
 }

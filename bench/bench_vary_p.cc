@@ -22,8 +22,8 @@ void RegisterAll() {
                            AlgorithmName(algo) + "/p:" + std::to_string(p);
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [data, algo, p](benchmark::State& state) {
-              RunEntityMatching(state, *data, algo, p);
+            [data, algo, p, name](benchmark::State& state) {
+              RunEntityMatching(state, *data, algo, p, name);
             })
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);
@@ -37,9 +37,11 @@ void RegisterAll() {
 }  // namespace gkeys
 
 int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gkeys::bench::FlushJson();
   return 0;
 }

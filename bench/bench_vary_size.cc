@@ -21,10 +21,10 @@ void RegisterAll() {
                            "/scale:" + std::to_string(scale).substr(0, 3);
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [data, algo](benchmark::State& state) {
+            [data, algo, name](benchmark::State& state) {
               state.counters["triples"] =
                   static_cast<double>(data->graph.NumTriples());
-              RunEntityMatching(state, *data, algo, /*processors=*/4);
+              RunEntityMatching(state, *data, algo, /*processors=*/4, name);
             })
             ->Unit(benchmark::kMillisecond)
             ->Iterations(1);
@@ -38,9 +38,11 @@ void RegisterAll() {
 }  // namespace gkeys
 
 int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  gkeys::bench::FlushJson();
   return 0;
 }

@@ -12,6 +12,7 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
                                MatchSink* sink) {
   MatchResult result;
   result.stats.candidates_initial = ctx.candidates_initial();
+  result.stats.candidates_blocked = ctx.candidates_blocked();
   result.stats.candidates = ctx.candidates().size();
   result.stats.neighbor_nodes = ctx.neighbor_nodes();
   result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
@@ -28,7 +29,8 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
   Timer run_timer;
   EquivalenceRelation eq(ctx.graph().NumNodes());
   EqView view(&eq);
-  internal::PairStreamer streamer(sink);
+  internal::PairStreamer streamer(sink, ctx.graph().NumNodes());
+  std::vector<std::pair<NodeId, NodeId>> merges;  // this round's Unions
   std::vector<uint32_t> active = order;
   std::vector<uint32_t> next;
   bool changed = true;
@@ -36,6 +38,7 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
     changed = false;
     ++result.stats.rounds;
     next.clear();
+    merges.clear();
     for (uint32_t idx : active) {
       const Candidate& c = ctx.candidates()[idx];
       if (eq.Same(c.e1, c.e2)) continue;  // already identified (or TC)
@@ -43,6 +46,7 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
       if (ctx.Identifies(c, view, &result.stats.search,
                          options.unrestricted_neighbors, use_vf2)) {
         eq.Union(c.e1, c.e2);
+        merges.emplace_back(c.e1, c.e2);
         changed = true;
       } else {
         next.push_back(idx);
@@ -50,7 +54,7 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
     }
     active.swap(next);
     if (sink != nullptr) {
-      result.stats.confirmed = streamer.EmitNew(eq);
+      result.stats.confirmed = streamer.EmitMerges(merges);
       sink->OnProgress(result.stats);
       if (sink->cancelled()) {
         return Status::Cancelled("entity matching cancelled after round " +
@@ -71,6 +75,9 @@ MatchResult Chase(const Graph& g, const KeySet& keys,
   EmOptions eopts;
   eopts.processors = 1;
   eopts.use_vf2 = options.use_vf2;
+  // The oracle enumerates exhaustively (blocked/unblocked equivalence
+  // tests compare the algorithms against this).
+  eopts.use_blocking = false;
   EmContext ctx(g, keys, eopts);
   double prep_seconds = prep_timer.Seconds();
 

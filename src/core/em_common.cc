@@ -27,6 +27,10 @@ EmOptions EmOptions::For(Algorithm a, int p) {
   o.processors = p;
   switch (a) {
     case Algorithm::kNaiveChase:
+      // The correctness oracle enumerates exhaustively; blocking stays off
+      // so oracle comparisons exercise the blocked/unblocked equivalence.
+      o.use_blocking = false;
+      break;
     case Algorithm::kEmMr:
       break;
     case Algorithm::kEmVf2Mr:
@@ -79,35 +83,222 @@ const std::vector<int>& EmContext::KeysForType(Symbol t) const {
   return it == keys_by_type_.end() ? kEmpty : it->second;
 }
 
+namespace {
+
+/// One hop of a pattern path from the designated variable toward a value
+/// terminal: follow `pred` forward (Out) or backward (In) into pattern
+/// node `to_node`.
+struct SigStep {
+  Symbol pred;
+  bool forward;
+  int to_node;
+};
+
+/// A signature source of one key: a pattern path from x to a value
+/// variable (constant == kNoNode) or to a constant node. Any match of
+/// the key maps the terminal to ONE value node reached from both
+/// entities along this exact path, so "the entities share a reachable
+/// terminal value" is a necessary condition for identification — and it
+/// is Eq-independent (reachability never consults entity identity).
+struct SigSource {
+  std::vector<SigStep> path;
+  NodeId constant = kNoNode;
+};
+
+/// All signature sources of `cp`: BFS over the pattern graph from the
+/// designated variable; every value variable / graph-resolved constant
+/// first reached contributes its (shortest) path.
+std::vector<SigSource> FindSigSources(const CompiledPattern& cp) {
+  const int n = static_cast<int>(cp.nodes.size());
+  std::vector<int> parent(n, -1);
+  std::vector<SigStep> parent_step(n);
+  std::vector<int> order;
+  std::vector<uint8_t> seen(n, 0);
+  seen[cp.designated] = 1;
+  order.push_back(cp.designated);
+  for (size_t head = 0; head < order.size(); ++head) {
+    int v = order[head];
+    for (int t : cp.incident[v]) {
+      const CompiledTriple& ct = cp.triples[t];
+      int other = ct.subject == v ? ct.object : ct.subject;
+      bool forward = ct.subject == v;
+      if (other == v || seen[other]) continue;
+      seen[other] = 1;
+      parent[other] = v;
+      parent_step[other] = SigStep{ct.pred, forward, other};
+      order.push_back(other);
+    }
+  }
+  std::vector<SigSource> sources;
+  for (int v : order) {
+    if (v == cp.designated) continue;
+    const CompiledNode& pn = cp.nodes[v];
+    bool is_value = pn.kind == VarKind::kValueVar;
+    bool is_const =
+        pn.kind == VarKind::kConstant && pn.constant_node != kNoNode;
+    if (!is_value && !is_const) continue;
+    SigSource src;
+    src.constant = is_const ? pn.constant_node : kNoNode;
+    for (int u = v; parent[u] != -1; u = parent[u]) {
+      src.path.push_back(parent_step[u]);
+    }
+    std::reverse(src.path.begin(), src.path.end());
+    sources.push_back(std::move(src));
+  }
+  return sources;
+}
+
+}  // namespace
+
+bool EmContext::EnumerateBlockedPairs(
+    const std::vector<int>& key_ids, std::span<const NodeId> entities,
+    std::vector<std::pair<NodeId, NodeId>>* out) const {
+  const Graph& g = *g_;
+
+  // Signature sources per matchable key. A key that reaches no value
+  // variable or constant from x pins nothing Eq-independent and makes
+  // the whole type unblockable (full enumeration).
+  std::vector<std::vector<SigSource>> per_key;
+  for (int ki : key_ids) {
+    const CompiledPattern& cp = compiled_[ki].cp;
+    if (!cp.matchable) continue;  // can never fire: imposes nothing
+    std::vector<SigSource> sources = FindSigSources(cp);
+    if (sources.empty()) return false;  // purely variable-only key
+    per_key.push_back(std::move(sources));
+  }
+  // Every key is unmatchable: no pair of this type is identifiable.
+  if (per_key.empty()) return true;
+
+  // The terminal value nodes entity `e` can reach along `src.path`
+  // (type-checked intermediates, direction-aware), ascending.
+  std::vector<NodeId> frontier, next;
+  auto reachable_values = [&](NodeId e, const SigSource& src,
+                              const CompiledPattern& cp) {
+    frontier.assign(1, e);
+    for (const SigStep& step : src.path) {
+      next.clear();
+      const CompiledNode& pn = cp.nodes[step.to_node];
+      for (NodeId n : frontier) {
+        for (const Edge& edge : step.forward ? g.Out(n) : g.In(n)) {
+          if (edge.pred != step.pred) continue;
+          NodeId dst = edge.dst;
+          switch (pn.kind) {
+            case VarKind::kEntityVar:
+            case VarKind::kWildcard:
+              if (!g.IsEntity(dst) || g.entity_type(dst) != pn.type) {
+                continue;
+              }
+              break;
+            case VarKind::kValueVar:
+              if (!g.IsValue(dst)) continue;
+              break;
+            case VarKind::kConstant:
+              if (dst != pn.constant_node) continue;
+              break;
+            case VarKind::kDesignated:
+              break;  // unreachable: BFS paths never revisit x
+          }
+          next.push_back(dst);
+        }
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      frontier.swap(next);
+    }
+    return frontier;  // copy out
+  };
+
+  // Per key, the most selective source (fewest pairs to enumerate) is a
+  // sufficient necessary condition on its own; unioning one source per
+  // key over all keys covers every directly identifiable pair.
+  auto pair_count = [](size_t n) { return n * (n - 1) / 2; };
+  std::unordered_set<uint64_t> seen;
+  auto emit_bucket = [&](const std::vector<NodeId>& members) {
+    // EntitiesOfType yields ascending NodeIds, preserved per bucket, so
+    // members[i] < members[j] for i < j.
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        uint64_t packed = PackPair(members[i], members[j]);
+        if (seen.insert(packed).second) {
+          out->emplace_back(members[i], members[j]);
+        }
+      }
+    }
+  };
+  size_t key_index = 0;
+  std::unordered_map<NodeId, size_t> counts;
+  for (int ki : key_ids) {
+    const CompiledPattern& cp = compiled_[ki].cp;
+    if (!cp.matchable) continue;
+    const std::vector<SigSource>& sources = per_key[key_index++];
+    // Pass 1 (only when there is a choice): pick the most selective
+    // source from per-value counts alone (a constant terminal needs no
+    // extra filter — reachable_values already pins the last hop to the
+    // constant node).
+    size_t best = 0;
+    size_t best_pairs = SIZE_MAX;
+    for (size_t s = 0; sources.size() > 1 && s < sources.size(); ++s) {
+      counts.clear();
+      for (NodeId e : entities) {
+        for (NodeId v : reachable_values(e, sources[s], cp)) ++counts[v];
+      }
+      size_t pairs = 0;
+      for (const auto& [value, count] : counts) {
+        pairs += pair_count(count);
+      }
+      if (pairs < best_pairs) {
+        best_pairs = pairs;
+        best = s;
+      }
+    }
+    // Pass 2: materialize only the winning source's buckets.
+    std::unordered_map<NodeId, std::vector<NodeId>> buckets;
+    for (NodeId e : entities) {
+      for (NodeId v : reachable_values(e, sources[best], cp)) {
+        buckets[v].push_back(e);
+      }
+    }
+    for (const auto& [value, members] : buckets) {
+      emit_bucket(members);
+    }
+  }
+  return true;
+}
+
 void EmContext::BuildCandidates() {
   const Graph& g = *g_;
   const int p = std::max(1, opts_.processors);
 
   // Phase A: d-neighbors of every keyed entity, in parallel — the paper's
-  // DriverMR builds the Gd's "also in MapReduce" (§4.1).
+  // DriverMR builds the Gd's "also in MapReduce" (§4.1). Stored in dense
+  // slots (one per keyed entity) so lookups are an array index and the
+  // element addresses candidates point at stay stable.
   std::vector<std::pair<NodeId, int>> todo;  // (entity, radius d)
   for (const auto& [type, key_ids] : keys_by_type_) {
     int d = radius_by_type_.at(type);
     for (NodeId e : g.EntitiesOfType(type)) todo.emplace_back(e, d);
   }
-  {
-    std::vector<NodeSet> sets(todo.size());
-    ParallelFor(p, todo.size(), [&](size_t i) {
-      sets[i] = DNeighbor(g, todo[i].first, todo[i].second);
-    });
-    for (size_t i = 0; i < todo.size(); ++i) {
-      neighbor_nodes_ += sets[i].size();
-      dneighbor_cache_.emplace(todo[i].first, std::move(sets[i]));
-    }
+  dneighbor_slot_.assign(g.NumNodes(), kNoSlot);
+  dneighbor_sets_.resize(todo.size());
+  ParallelFor(p, todo.size(), [&](size_t i) {
+    dneighbor_sets_[i] = DNeighbor(g, todo[i].first, todo[i].second);
+  });
+  for (size_t i = 0; i < todo.size(); ++i) {
+    neighbor_nodes_ += dneighbor_sets_[i].size();
+    dneighbor_slot_[todo[i].first] = static_cast<uint32_t>(i);
   }
 
-  // Phase B: enumerate L (all same-type pairs of keyed entities).
+  // Phase B: enumerate L. With signature blocking, only same-type pairs
+  // sharing a required (predicate, value) signature are materialized —
+  // the O(n²)-pair wall of the naive enumeration never forms. Types whose
+  // keys pin nothing on x directly fall back to the full double loop.
   struct RawPair {
     NodeId e1, e2;
     const std::vector<int>* keys;
     bool recursive, value_based;
   };
   std::vector<RawPair> raw;
+  std::vector<std::pair<NodeId, NodeId>> block_scratch;
   for (const auto& [type, key_ids] : keys_by_type_) {
     auto entities = g.EntitiesOfType(type);
     bool recursive = false, value_based = false;
@@ -118,10 +309,20 @@ void EmContext::BuildCandidates() {
         value_based = true;
       }
     }
-    for (size_t i = 0; i < entities.size(); ++i) {
-      for (size_t j = i + 1; j < entities.size(); ++j) {
-        raw.push_back(RawPair{entities[i], entities[j], &key_ids,
-                              recursive, value_based});
+    const size_t all_pairs = entities.size() * (entities.size() - 1) / 2;
+    block_scratch.clear();
+    if (opts_.use_blocking &&
+        EnumerateBlockedPairs(key_ids, entities, &block_scratch)) {
+      candidates_blocked_ += all_pairs - block_scratch.size();
+      for (const auto& [a, b] : block_scratch) {
+        raw.push_back(RawPair{a, b, &key_ids, recursive, value_based});
+      }
+    } else {
+      for (size_t i = 0; i < entities.size(); ++i) {
+        for (size_t j = i + 1; j < entities.size(); ++j) {
+          raw.push_back(RawPair{entities[i], entities[j], &key_ids,
+                                recursive, value_based});
+        }
       }
     }
   }
@@ -140,8 +341,8 @@ void EmContext::BuildCandidates() {
   if (opts_.use_pairing) {
     ParallelFor(p, raw.size(), [&](size_t i) {
       const RawPair& rp = raw[i];
-      const NodeSet& n1 = dneighbor_cache_.at(rp.e1);
-      const NodeSet& n2 = dneighbor_cache_.at(rp.e2);
+      const NodeSet& n1 = DNbr(rp.e1);
+      const NodeSet& n2 = DNbr(rp.e2);
       Reduction& red = reductions[i];
       red.keep = false;
       for (int ki : *rp.keys) {
@@ -156,7 +357,9 @@ void EmContext::BuildCandidates() {
     });
   }
 
-  // Assembly (sequential: the pools need stable addresses).
+  // Assembly (sequential: the pools need stable addresses). Pairs the
+  // pairing filter rejects just disappear from L — ghost tracking
+  // rediscovers the ones that matter from the d-neighbor overlaps.
   candidates_.reserve(raw.size());
   for (size_t i = 0; i < raw.size(); ++i) {
     const RawPair& rp = raw[i];
@@ -168,47 +371,44 @@ void EmContext::BuildCandidates() {
     c.has_value_based_key = rp.value_based;
     if (opts_.use_pairing) {
       Reduction& red = reductions[i];
-      if (!red.keep) {
-        // Provably not identifiable directly — but it may still become
-        // equal transitively; remember it for ghost tracking.
-        dropped_.emplace_back(rp.e1, rp.e2);
-        continue;
-      }
+      if (!red.keep) continue;
       neighbor_nodes_reduced_ += red.r1.size() + red.r2.size();
       reduced_pool_.push_back(std::move(red.r1));
       c.nbr1 = &reduced_pool_.back();
       reduced_pool_.push_back(std::move(red.r2));
       c.nbr2 = &reduced_pool_.back();
     } else {
-      c.nbr1 = &dneighbor_cache_.at(rp.e1);
-      c.nbr2 = &dneighbor_cache_.at(rp.e2);
+      c.nbr1 = &DNbr(rp.e1);
+      c.nbr2 = &DNbr(rp.e2);
     }
     candidates_.push_back(std::move(c));
   }
 }
 
 void EmContext::BuildDependencyIndex() {
+  const Graph& g = *g_;
   const int p = std::max(1, opts_.processors);
   dependents_.assign(candidates_.size(), {});
-  // entity -> pair ids it participates in. Ids [0, C) are candidates;
-  // ids [C, C + D) are pairs the pairing filter dropped — they cannot be
-  // identified directly, but they can become equal transitively, so
-  // dependencies must see them too.
   const uint32_t num_candidates = static_cast<uint32_t>(candidates_.size());
+  // entity -> candidate indices it participates in, plus a membership
+  // test for "is (a, b) in L". Same-type pairs NOT in L — excluded by
+  // blocking or pairing — cannot be identified directly but can become
+  // equal transitively; they are discovered lazily below instead of being
+  // materialized (there are O(n²) of them).
   std::unordered_map<NodeId, std::vector<uint32_t>> by_entity;
+  std::unordered_set<uint64_t> in_l;
+  in_l.reserve(candidates_.size() * 2);
   for (uint32_t i = 0; i < num_candidates; ++i) {
     by_entity[candidates_[i].e1].push_back(i);
     by_entity[candidates_[i].e2].push_back(i);
+    in_l.insert(PackPair(candidates_[i].e1, candidates_[i].e2));
   }
-  for (uint32_t d = 0; d < dropped_.size(); ++d) {
-    by_entity[dropped_[d].first].push_back(num_candidates + d);
-    by_entity[dropped_[d].second].push_back(num_candidates + d);
-  }
-  // Parallel phase: for each candidate j, the candidates it DEPENDS ON —
-  // pairs lying inside j's neighbors (one entity per side, either
-  // orientation) whose type matches an entity variable of a recursive
-  // key on j (§4.2).
+  // Parallel phase: for each candidate j, the pairs it DEPENDS ON — pairs
+  // lying inside j's neighbors (one entity per side, either orientation)
+  // whose type matches an entity variable of a recursive key on j (§4.2).
+  // Candidate pairs land in depends_on; excluded pairs in ghost_depends.
   std::vector<std::vector<uint32_t>> depends_on(candidates_.size());
+  std::vector<std::vector<uint64_t>> ghost_depends(candidates_.size());
   ParallelFor(p, candidates_.size(), [&](size_t j) {
     const Candidate& cj = candidates_[j];
     if (!cj.has_recursive_key) return;
@@ -224,22 +424,41 @@ void EmContext::BuildDependencyIndex() {
     dep_types.erase(std::unique(dep_types.begin(), dep_types.end()),
                     dep_types.end());
     auto scan_side = [&](const NodeSet& near, const NodeSet& far) {
+      // Far-side entities per dependency type, collected once. Only keyed
+      // types matter: every Eq merge starts from a same-type candidate of
+      // a keyed type, so pairs of unkeyed types can never become equal.
+      std::unordered_map<Symbol, std::vector<NodeId>> far_by_type;
+      for (NodeId m : far) {
+        if (!g.IsEntity(m)) continue;
+        Symbol t = g.entity_type(m);
+        if (std::binary_search(dep_types.begin(), dep_types.end(), t) &&
+            keys_by_type_.find(t) != keys_by_type_.end()) {
+          far_by_type[t].push_back(m);
+        }
+      }
+      if (far_by_type.empty()) return;
       for (NodeId n : near) {
-        if (!g_->IsEntity(n)) continue;
-        if (!std::binary_search(dep_types.begin(), dep_types.end(),
-                                g_->entity_type(n))) {
+        if (!g.IsEntity(n)) continue;
+        Symbol t = g.entity_type(n);
+        if (!std::binary_search(dep_types.begin(), dep_types.end(), t)) {
           continue;
         }
         auto it = by_entity.find(n);
-        if (it == by_entity.end()) continue;
-        for (uint32_t i : it->second) {
-          if (i == j) continue;
-          auto [p1, p2] = i < num_candidates
-                              ? std::pair<NodeId, NodeId>{candidates_[i].e1,
-                                                          candidates_[i].e2}
-                              : dropped_[i - num_candidates];
-          NodeId other = p1 == n ? p2 : p1;
-          if (far.Contains(other)) depends_on[j].push_back(i);
+        if (it != by_entity.end()) {
+          for (uint32_t i : it->second) {
+            if (i == static_cast<uint32_t>(j)) continue;
+            const Candidate& ci = candidates_[i];
+            NodeId other = ci.e1 == n ? ci.e2 : ci.e1;
+            if (far.Contains(other)) depends_on[j].push_back(i);
+          }
+        }
+        auto ft = far_by_type.find(t);
+        if (ft == far_by_type.end()) continue;
+        for (NodeId m : ft->second) {
+          if (m == n) continue;
+          uint64_t packed = PackPair(std::min(n, m), std::max(n, m));
+          if (in_l.count(packed) > 0) continue;  // handled above
+          ghost_depends[j].push_back(packed);
         }
       }
     };
@@ -249,25 +468,44 @@ void EmContext::BuildDependencyIndex() {
     depends_on[j].erase(
         std::unique(depends_on[j].begin(), depends_on[j].end()),
         depends_on[j].end());
+    std::sort(ghost_depends[j].begin(), ghost_depends[j].end());
+    ghost_depends[j].erase(
+        std::unique(ghost_depends[j].begin(), ghost_depends[j].end()),
+        ghost_depends[j].end());
   });
   // Sequential inversion: dependents_[i] = { j : j depends on i }.
-  // Dropped pairs with dependents become ghosts.
-  std::unordered_map<uint32_t, std::vector<uint32_t>> ghost_deps;
+  // Excluded pairs with dependents become ghosts.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ghost_deps;
   for (uint32_t j = 0; j < depends_on.size(); ++j) {
-    for (uint32_t i : depends_on[j]) {
-      if (i < num_candidates) {
-        dependents_[i].push_back(j);
-      } else {
-        ghost_deps[i - num_candidates].push_back(j);
-      }
+    for (uint32_t i : depends_on[j]) dependents_[i].push_back(j);
+    for (uint64_t packed : ghost_depends[j]) {
+      ghost_deps[packed].push_back(j);
     }
   }
-  for (auto& [d, deps] : ghost_deps) {
-    ghosts_.push_back(
-        GhostPair{dropped_[d].first, dropped_[d].second, std::move(deps)});
+  ghosts_.reserve(ghost_deps.size());
+  for (auto& [packed, deps] : ghost_deps) {
+    std::sort(deps.begin(), deps.end());
+    ghosts_.push_back(GhostPair{static_cast<NodeId>(packed >> 32),
+                                static_cast<NodeId>(packed & 0xffffffffu),
+                                std::move(deps)});
   }
-  dropped_.clear();  // only the ghosts are needed from here on
-  dropped_.shrink_to_fit();
+  std::sort(ghosts_.begin(), ghosts_.end(),
+            [](const GhostPair& a, const GhostPair& b) {
+              return std::tie(a.e1, a.e2) < std::tie(b.e1, b.e2);
+            });
+}
+
+size_t EmContext::MemoryBytes() const {
+  size_t bytes = candidates_.capacity() * sizeof(Candidate) +
+                 dneighbor_slot_.capacity() * sizeof(uint32_t) +
+                 compiled_.capacity() * sizeof(CompiledKey);
+  for (const NodeSet& s : dneighbor_sets_) bytes += s.MemoryBytes();
+  for (const NodeSet& s : reduced_pool_) bytes += s.MemoryBytes();
+  for (const auto& d : dependents_) bytes += d.capacity() * sizeof(uint32_t);
+  for (const auto& gh : ghosts_) {
+    bytes += sizeof(GhostPair) + gh.dependents.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
 }
 
 bool EmContext::Identifies(const Candidate& c, const EqView& eq,
@@ -286,11 +524,37 @@ bool EmContext::Identifies(const Candidate& c, const EqView& eq,
   return false;
 }
 
-size_t internal::PairStreamer::EmitNew(const EquivalenceRelation& eq) {
-  for (const auto& [a, b] : eq.IdentifiedPairs()) {
-    uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
-    if (!emitted_.insert(packed).second) continue;
-    if (sink_ != nullptr) sink_->OnPair(a, b);
+void internal::PairStreamer::EmitPair(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
+  if (!emitted_.insert(packed).second) return;
+  sink_->OnPair(a, b);
+}
+
+size_t internal::PairStreamer::EmitMerges(
+    std::span<const std::pair<NodeId, NodeId>> merges) {
+  if (sink_ == nullptr) return 0;
+  for (const auto& [a, b] : merges) {
+    NodeId ra = mirror_.Find(a);
+    NodeId rb = mirror_.Find(b);
+    if (ra == rb) continue;
+    auto take = [&](NodeId root) {
+      auto it = members_.find(root);
+      if (it == members_.end()) return std::vector<NodeId>{root};
+      std::vector<NodeId> m = std::move(it->second);
+      members_.erase(it);
+      return m;
+    };
+    std::vector<NodeId> ca = take(ra);
+    std::vector<NodeId> cb = take(rb);
+    // The pairs this merge newly implies: exactly the cross product of
+    // the two classes it joins.
+    for (NodeId x : ca) {
+      for (NodeId y : cb) EmitPair(x, y);
+    }
+    mirror_.Union(ra, rb);
+    ca.insert(ca.end(), cb.begin(), cb.end());
+    members_[mirror_.Find(ra)] = std::move(ca);
   }
   return emitted_.size();
 }

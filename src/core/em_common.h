@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +45,16 @@ struct EmOptions {
   bool use_dependency = false;
   /// §4.2: re-check a pair only in round 1 or after a dependency changed.
   bool use_incremental = false;
+  /// Signature blocking: enumerate only same-type pairs that share at
+  /// least one (predicate, value) signature some key requires on the
+  /// designated variable, instead of all O(n²) same-type pairs. A pair
+  /// two entities can only be identified by a key whose value variables /
+  /// constants adjacent to x they agree on, so skipped pairs are provably
+  /// not directly identifiable (the same guarantee Prop. 9 gives the
+  /// pairing filter); types carrying a purely recursive / variable-only
+  /// key fall back to full enumeration, and skipped pairs stay visible to
+  /// ghost/dependency tracking. Output-preserving for every algorithm.
+  bool use_blocking = true;
   /// §5.2: per-(pair, key) message budget k; 0 = unbounded (plain EMVC).
   int bounded_messages = 0;
   /// §5.2: prioritized propagation (highest-potential edges first).
@@ -55,7 +67,8 @@ struct EmOptions {
 /// Counters the benchmark harness reports (paper Table 2 and the
 /// optimization-effectiveness narratives in §6).
 struct EmStats {
-  size_t candidates_initial = 0;   // |L| before pairing reduction
+  size_t candidates_initial = 0;   // |L| enumerated (after blocking)
+  size_t candidates_blocked = 0;   // same-type pairs skipped by blocking
   size_t candidates = 0;           // |L| actually processed
   size_t confirmed = 0;            // identified entity pairs in chase(G,Σ)
   size_t rounds = 0;               // MapReduce rounds / engine runs
@@ -65,6 +78,7 @@ struct EmStats {
   size_t product_graph_edges = 0;  // |Ep|
   uint64_t neighbor_nodes = 0;   // Σ |Gd| over candidate entities
   uint64_t neighbor_nodes_reduced = 0;  // after pairing reduction
+  size_t plan_bytes = 0;           // approx. heap footprint of the plan
   SearchStats search;
   double prep_seconds = 0.0;       // DriverMR line 1 work
   double run_seconds = 0.0;        // fixpoint computation
@@ -106,30 +120,62 @@ class MatchSink {
 
 namespace internal {
 
-/// Streams the delta of an Eq snapshot to a MatchSink, guaranteeing
-/// exactly-once emission per identified pair across rounds. Each call
-/// re-materializes the snapshot's pair set (rounds are few — O(c) — and
-/// classes small in practice); streaming very large duplicate classes
-/// over many rounds wants a union-find merge log instead (ROADMAP).
+/// Collects the Eq merges an engine performs during a round so the
+/// streamer can expand exactly the classes that changed. Engines record
+/// under a mutex (merges are rare — at most one per entity — so
+/// contention is negligible next to the isomorphism checks around them).
+class MergeLog {
+ public:
+  void Record(NodeId a, NodeId b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.emplace_back(a, b);
+  }
+
+  /// Moves out everything recorded since the previous Drain.
+  std::vector<std::pair<NodeId, NodeId>> Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::exchange(log_, {});
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<NodeId, NodeId>> log_;
+};
+
+/// Streams the delta of the growing Eq relation to a MatchSink,
+/// guaranteeing exactly-once emission per identified pair across rounds.
+/// Instead of re-materializing the full pair set per round (the pre-
+/// merge-log design, quadratic in class sizes every round), it mirrors
+/// the engine's union-find and expands only the classes each recorded
+/// merge joins: one merge of classes A and B emits exactly |A|·|B| new
+/// pairs, so total streaming work equals the number of pairs emitted.
 class PairStreamer {
  public:
-  explicit PairStreamer(MatchSink* sink) : sink_(sink) {}
+  /// `num_nodes` sizes the mirror union-find; with a null sink the
+  /// streamer is an inert no-op and allocates nothing.
+  PairStreamer(MatchSink* sink, size_t num_nodes)
+      : sink_(sink), mirror_(sink == nullptr ? 0 : num_nodes) {}
 
-  /// Emits every identified pair of `eq` not emitted before. Returns the
-  /// total number of pairs emitted so far.
-  size_t EmitNew(const EquivalenceRelation& eq);
+  /// Replays `merges` (an engine's MergeLog drain) against the mirror and
+  /// emits every newly implied pair. Returns total pairs emitted so far.
+  size_t EmitMerges(std::span<const std::pair<NodeId, NodeId>> merges);
 
   /// Final sweep after the fixpoint: emits whatever the per-round deltas
   /// did not cover (zero-round runs; merges after the last emission),
-  /// reusing the engine's already-materialized pair list instead of
-  /// re-sweeping the union-find. Verifies the exactly-once invariant;
-  /// no-op without a sink.
+  /// reusing the engine's already-materialized pair list. Verifies the
+  /// exactly-once invariant; no-op without a sink.
   Status Finish(const std::vector<std::pair<NodeId, NodeId>>& final_pairs);
 
   size_t emitted() const { return emitted_.size(); }
 
  private:
+  void EmitPair(NodeId a, NodeId b);
+
   MatchSink* sink_;
+  EquivalenceRelation mirror_;
+  // Members of each nontrivial mirror class, keyed by its current root.
+  // Singleton classes are implicit.
+  std::unordered_map<NodeId, std::vector<NodeId>> members_;
   std::unordered_set<uint64_t> emitted_;
 };
 
@@ -160,8 +206,8 @@ struct CompiledKey {
 };
 
 /// Everything DriverMR's line 1 precomputes, shared by all algorithms:
-/// compiled keys, the candidate list L, d-neighbors (optionally pairing-
-/// reduced), and the entity-dependency index of §4.2.
+/// compiled keys, the candidate list L (signature-blocked, optionally
+/// pairing-reduced), d-neighbors, and the entity-dependency index of §4.2.
 class EmContext {
  public:
   /// Builds the context. `g` must be finalized.
@@ -178,6 +224,8 @@ class EmContext {
   /// The candidate list L (after optional pairing reduction).
   const std::vector<Candidate>& candidates() const { return candidates_; }
   size_t candidates_initial() const { return candidates_initial_; }
+  /// Same-type pairs signature blocking kept out of the enumeration.
+  size_t candidates_blocked() const { return candidates_blocked_; }
 
   /// Dependency index (§4.2): dependents_[i] lists candidate indices j
   /// such that candidate j depends on candidate i — i.e., identifying
@@ -186,14 +234,17 @@ class EmContext {
     return dependents_;
   }
 
-  /// A pair the pairing filter removed from L (provably not identifiable
-  /// by any key, Prop. 9) that some candidate still DEPENDS on: the pair
-  /// can become equal transitively (through other merges), newly enabling
-  /// a recursive key on its dependents. Ghosts are never isomorphism-
+  /// A same-type pair excluded from L (by the pairing filter, Prop. 9, or
+  /// by signature blocking — provably not identifiable by any key
+  /// directly) that some candidate still DEPENDS on: the pair can become
+  /// equal transitively (through other merges), newly enabling a
+  /// recursive key on its dependents. Ghosts are never isomorphism-
   /// checked; the algorithms only watch them for Eq membership and then
   /// wake their dependents. Without this, the pairing + incremental /
   /// dependency optimizations would be incomplete (a regression test in
-  /// em_vertexcentric_test.cc pins the exact scenario).
+  /// em_mapreduce_test.cc pins the exact scenario). Ghosts are discovered
+  /// lazily from the d-neighbor overlaps of recursive-key candidates, so
+  /// excluded pairs never need materializing.
   struct GhostPair {
     NodeId e1, e2;
     std::vector<uint32_t> dependents;  // candidate indices
@@ -224,11 +275,32 @@ class EmContext {
   uint64_t neighbor_nodes_reduced() const {
     return neighbor_nodes_reduced_;
   }
-  size_t neighbor_entities() const { return dneighbor_cache_.size(); }
+  size_t neighbor_entities() const { return dneighbor_sets_.size(); }
+
+  /// Approximate heap footprint of the compiled structures, in bytes
+  /// (EmStats::plan_bytes; excludes the referenced Graph and KeySet).
+  size_t MemoryBytes() const;
 
  private:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
   void BuildCandidates();
   void BuildDependencyIndex();
+
+  /// Signature blocking for one keyed type: when every matchable key on
+  /// `type` pins a value variable or constant directly on the designated
+  /// variable, appends exactly the same-type pairs sharing at least one
+  /// required (predicate, value) signature and returns true; returns
+  /// false when some key is purely recursive/variable-only (caller falls
+  /// back to full enumeration).
+  bool EnumerateBlockedPairs(const std::vector<int>& key_ids,
+                             std::span<const NodeId> entities,
+                             std::vector<std::pair<NodeId, NodeId>>* out) const;
+
+  /// The cached d-neighbor of keyed entity `e` (must exist).
+  const NodeSet& DNbr(NodeId e) const {
+    return dneighbor_sets_[dneighbor_slot_[e]];
+  }
 
   const Graph* g_;
   const KeySet* keys_;
@@ -237,12 +309,16 @@ class EmContext {
   std::unordered_map<Symbol, std::vector<int>> keys_by_type_;
   std::unordered_map<Symbol, int> radius_by_type_;
   std::vector<Candidate> candidates_;
-  // Stable storage for the NodeSets candidates point into.
-  std::unordered_map<NodeId, NodeSet> dneighbor_cache_;
+  // Stable storage for the NodeSets candidates point into: one dense slot
+  // per keyed entity (indexed through dneighbor_slot_), plus a pool for
+  // the per-pair pairing-reduced sets. dneighbor_sets_ is reserved to its
+  // exact final size before any pointer is taken, so element addresses
+  // stay stable (and survive moves of the context).
+  std::vector<uint32_t> dneighbor_slot_;
+  std::vector<NodeSet> dneighbor_sets_;
   std::deque<NodeSet> reduced_pool_;
   size_t candidates_initial_ = 0;
-  // Pairs dropped by the pairing filter, for ghost tracking.
-  std::vector<std::pair<NodeId, NodeId>> dropped_;
+  size_t candidates_blocked_ = 0;
   std::vector<GhostPair> ghosts_;
   std::vector<std::vector<uint32_t>> dependents_;
   uint64_t neighbor_nodes_ = 0;

@@ -41,6 +41,7 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
 
   MatchResult result;
   result.stats.candidates_initial = ctx.candidates_initial();
+  result.stats.candidates_blocked = ctx.candidates_blocked();
   result.stats.candidates = candidates.size();
   result.stats.neighbor_nodes = ctx.neighbor_nodes();
   result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
@@ -48,6 +49,7 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
   Timer run;
   ConcurrentEquivalence eq(g.NumNodes());
   EqView view(&eq);
+  internal::MergeLog merge_log;
 
   // Search stats aggregated lock-free (mappers run concurrently; a mutex
   // here would serialize the map phase and destroy parallel scalability).
@@ -95,7 +97,10 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
         for (const auto& [idx, code] : values) {
           if (code == kNewlyIdentified) {
             const Candidate& c = candidates[idx];
-            eq.Union(c.e1, c.e2);  // TC is implicit in union-find
+            // TC is implicit in union-find.
+            if (eq.Union(c.e1, c.e2) && sink != nullptr) {
+              merge_log.Record(c.e1, c.e2);
+            }
             out.Emit(idx, kNewlyIdentified);
           } else if (code == kTcIdentified) {
             out.Emit(idx, kTcIdentified);
@@ -122,10 +127,10 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
     entered[i] = 1;
   }
 
-  internal::PairStreamer streamer(sink);
+  internal::PairStreamer streamer(sink, g.NumNodes());
   auto end_of_round = [&]() -> Status {
     if (sink == nullptr) return Status::OK();
-    result.stats.confirmed = streamer.EmitNew(eq.Snapshot());
+    result.stats.confirmed = streamer.EmitMerges(merge_log.Drain());
     result.stats.iso_checks = iso_checks.load();
     sink->OnProgress(result.stats);
     if (sink->cancelled()) {

@@ -32,6 +32,8 @@ struct VcRun {
   // compiled plan under a different algorithm configuration.
   const EmOptions& run_opts;
   ConcurrentEquivalence& eq;
+  // Merge log feeding the streaming sink; null on non-streaming runs.
+  internal::MergeLog* merge_log;
   // One flag per candidate: set once identified AND dependents notified.
   std::vector<std::atomic<uint8_t>>& flags;
   // §5.2 bounded messages: per (candidate, key-slot) fork budget used.
@@ -77,7 +79,9 @@ struct VcRun {
     uint8_t expected = 0;
     if (!flags[idx].compare_exchange_strong(expected, 1)) return;
     const Candidate& c = ctx.candidates()[idx];
-    eq.Union(c.e1, c.e2);
+    if (eq.Union(c.e1, c.e2) && merge_log != nullptr) {
+      merge_log->Record(c.e1, c.e2);
+    }
     for (uint32_t dep : ctx.dependents()[idx]) {
       if (flags[dep].load(std::memory_order_acquire) == 0) Seed(vctx, dep);
     }
@@ -277,6 +281,7 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
 
   MatchResult result;
   result.stats.candidates_initial = ctx.candidates_initial();
+  result.stats.candidates_blocked = ctx.candidates_blocked();
   result.stats.candidates = candidates.size();
   result.stats.neighbor_nodes = ctx.neighbor_nodes();
   result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
@@ -285,6 +290,7 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
 
   Timer run;
   ConcurrentEquivalence eq(g.NumNodes());
+  internal::MergeLog merge_log;
   std::vector<std::atomic<uint8_t>> flags(candidates.size());
   for (auto& f : flags) f.store(0, std::memory_order_relaxed);
   int max_slots = 1;
@@ -295,7 +301,8 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
       opts.bounded_messages > 0 ? candidates.size() * max_slots : 1);
   for (auto& b : budget) b.store(0, std::memory_order_relaxed);
 
-  VcRun runner{ctx, pg, opts, eq, flags, budget, max_slots};
+  VcRun runner{ctx,   pg,     opts,   eq,       sink != nullptr ? &merge_log : nullptr,
+               flags, budget, max_slots};
 
   VcEngine engine(opts.processors);
   VcEngine::Handler handler = [&](VcEngine::Context& vctx, uint32_t vertex,
@@ -307,7 +314,7 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
   // recursive keys alike; recursive keys may fire immediately through
   // identity pairs in Eq0).
   uint64_t messages = 0;
-  internal::PairStreamer streamer(sink);
+  internal::PairStreamer streamer(sink, g.NumNodes());
   bool progressed = true;
   std::vector<uint8_t> ghost_done(ctx.ghosts().size(), 0);
   std::vector<uint32_t> to_seed(candidates.size());
@@ -346,7 +353,7 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
     messages = engine.messages_sent();
 
     if (sink != nullptr) {
-      result.stats.confirmed = streamer.EmitNew(eq.Snapshot());
+      result.stats.confirmed = streamer.EmitMerges(merge_log.Drain());
       result.stats.messages = messages;
       result.stats.iso_checks = runner.inline_hops.load();
       sink->OnProgress(result.stats);

@@ -18,6 +18,7 @@ MatchResult MatchEntities(const Graph& g, const KeySet& keys,
   int p = std::max(1, options.processors);
   PlanOptions popts = PlanOptions::For(algorithm, p);
   popts.use_pairing = options.use_pairing;
+  popts.use_blocking = options.use_blocking;
   auto plan = Matcher::Compile(g, keys, popts);
   if (!plan.ok()) return {};
 

@@ -9,6 +9,7 @@ PlanOptions PlanOptions::For(Algorithm a, int p) {
   PlanOptions popts;
   popts.processors = p;
   popts.use_pairing = preset.use_pairing;
+  popts.use_blocking = preset.use_blocking;
   popts.build_product_graph =
       a == Algorithm::kEmVc || a == Algorithm::kEmOptVc;
   return popts;
@@ -35,6 +36,7 @@ StatusOr<MatchPlan> CompileMatchPlan(const Graph& g, const KeySet& keys,
   EmOptions eopts;
   eopts.processors = opts.processors;
   eopts.use_pairing = opts.use_pairing;
+  eopts.use_blocking = opts.use_blocking;
   // Not make_shared: Rep is private and friendship does not reach into
   // the standard library's allocation helpers.
   std::shared_ptr<MatchPlan::Rep> rep(new MatchPlan::Rep(g, keys, opts, eopts));
@@ -42,6 +44,8 @@ StatusOr<MatchPlan> CompileMatchPlan(const Graph& g, const KeySet& keys,
     rep->pg.emplace(BuildProductGraph(rep->ctx));
   }
   rep->compile_seconds = timer.Seconds();
+  rep->memory_bytes = rep->ctx.MemoryBytes() +
+                      (rep->pg.has_value() ? rep->pg->MemoryBytes() : 0);
   return MatchPlan(std::move(rep));
 }
 

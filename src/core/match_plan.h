@@ -28,6 +28,13 @@ struct PlanOptions {
   /// Leave on unless reproducing the un-optimized EMMR/EMVF2MR baselines.
   bool use_pairing = true;
 
+  /// Signature blocking (EmOptions::use_blocking): enumerate only
+  /// same-type pairs that share a (predicate, value) signature some key
+  /// requires, instead of all O(n²) same-type pairs. Output-preserving;
+  /// baked into the plan because it shapes the candidate list. Leave on
+  /// unless reproducing exhaustive-enumeration baselines.
+  bool use_blocking = true;
+
   /// Build the product-graph skeleton Gp (§5.1) at compile time. Required
   /// to run the EMVC family from this plan; the MapReduce family and the
   /// naive chase ignore it.
@@ -86,6 +93,11 @@ class MatchPlan {
     return valid() ? rep_->compile_seconds : 0.0;
   }
 
+  /// Approximate heap footprint of the compiled structures in bytes
+  /// (candidates, neighbor sets, dependency index, product graph);
+  /// reported as EmStats::plan_bytes. 0 on an empty plan.
+  size_t memory_bytes() const { return valid() ? rep_->memory_bytes : 0; }
+
  private:
   friend StatusOr<MatchPlan> CompileMatchPlan(const Graph& g,
                                               const KeySet& keys,
@@ -101,6 +113,7 @@ class MatchPlan {
     EmContext ctx;
     std::optional<ProductGraph> pg;
     double compile_seconds = 0.0;
+    size_t memory_bytes = 0;
   };
 
   explicit MatchPlan(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}

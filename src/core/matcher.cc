@@ -54,6 +54,7 @@ StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
   // Honest accounting for amortized prep: the plan was compiled once,
   // possibly long ago; every run still reports what that cost.
   r->stats.prep_seconds = plan.compile_seconds();
+  r->stats.plan_bytes = plan.memory_bytes();
   return r;
 }
 

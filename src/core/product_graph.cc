@@ -19,6 +19,21 @@ uint32_t ProductGraph::InCount(uint32_t v, Symbol pred) const {
   return it == in_count_[v].end() ? 0 : it->second;
 }
 
+size_t ProductGraph::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(nodes_[0]) +
+                 candidate_nodes_.capacity() * sizeof(uint32_t) +
+                 index_.size() * (sizeof(uint64_t) + sizeof(uint32_t));
+  for (const auto& adj : out_) bytes += adj.capacity() * sizeof(PEdge);
+  for (const auto& adj : in_) bytes += adj.capacity() * sizeof(PEdge);
+  for (const auto& counts : out_count_) {
+    bytes += counts.size() * (sizeof(Symbol) + sizeof(uint32_t));
+  }
+  for (const auto& counts : in_count_) {
+    bytes += counts.size() * (sizeof(Symbol) + sizeof(uint32_t));
+  }
+  return bytes;
+}
+
 ProductGraph BuildProductGraph(const EmContext& ctx) {
   const Graph& g = ctx.graph();
   ProductGraph pg;

@@ -56,6 +56,9 @@ class ProductGraph {
   uint32_t OutCount(uint32_t v, Symbol pred) const;
   uint32_t InCount(uint32_t v, Symbol pred) const;
 
+  /// Approximate heap footprint in bytes (bytes-per-plan accounting).
+  size_t MemoryBytes() const;
+
  private:
   friend ProductGraph BuildProductGraph(const EmContext& ctx);
 

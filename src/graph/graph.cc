@@ -5,14 +5,14 @@
 namespace gkeys {
 
 NodeId Graph::AddEntity(Symbol type) {
+  if (finalized_) Thaw();
   NodeId id = static_cast<NodeId>(kinds_.size());
   kinds_.push_back(NodeKind::kEntity);
   labels_.push_back(type);
-  out_.emplace_back();
-  in_.emplace_back();
+  out_build_.emplace_back();
+  in_build_.emplace_back();
   by_type_[type].push_back(id);
   ++num_entities_;
-  finalized_ = false;
   return id;
 }
 
@@ -20,13 +20,13 @@ NodeId Graph::AddValue(std::string_view value) {
   Symbol sym = interner_.Intern(value);
   auto it = value_nodes_.find(sym);
   if (it != value_nodes_.end()) return it->second;
+  if (finalized_) Thaw();
   NodeId id = static_cast<NodeId>(kinds_.size());
   kinds_.push_back(NodeKind::kValue);
   labels_.push_back(sym);
-  out_.emplace_back();
-  in_.emplace_back();
+  out_build_.emplace_back();
+  in_build_.emplace_back();
   value_nodes_.emplace(sym, id);
-  finalized_ = false;
   return id;
 }
 
@@ -37,31 +37,60 @@ Status Graph::AddTriple(NodeId s, Symbol p, NodeId o) {
   if (!IsEntity(s)) {
     return Status::InvalidArgument("AddTriple: subject must be an entity");
   }
-  out_[s].push_back(Edge{p, o});
-  in_[o].push_back(Edge{p, s});
+  if (finalized_) Thaw();
+  out_build_[s].push_back(Edge{p, o});
+  in_build_[o].push_back(Edge{p, s});
   ++num_triples_;
-  finalized_ = false;
   return Status::OK();
+}
+
+void Graph::Thaw() {
+  out_build_.resize(NumNodes());
+  in_build_.resize(NumNodes());
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    auto out = Out(n);
+    out_build_[n].assign(out.begin(), out.end());
+    auto in = In(n);
+    in_build_[n].assign(in.begin(), in.end());
+  }
+  out_offsets_.clear();
+  in_offsets_.clear();
+  out_edges_.clear();
+  in_edges_.clear();
+  finalized_ = false;
 }
 
 void Graph::Finalize() {
   if (finalized_) return;
-  size_t triples = 0;
-  for (auto& adj : out_) {
-    std::sort(adj.begin(), adj.end());
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-    triples += adj.size();
-  }
-  for (auto& adj : in_) {
-    std::sort(adj.begin(), adj.end());
-    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-  }
-  num_triples_ = triples;
+  const size_t n = NumNodes();
+  auto compact = [n](std::vector<std::vector<Edge>>& build,
+                     std::vector<size_t>& offsets,
+                     std::vector<Edge>& edges) -> size_t {
+    size_t total = 0;
+    for (auto& adj : build) {
+      std::sort(adj.begin(), adj.end());
+      adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+      total += adj.size();
+    }
+    offsets.assign(n + 1, 0);
+    edges.clear();
+    edges.reserve(total);
+    for (size_t i = 0; i < n; ++i) {
+      offsets[i] = edges.size();
+      edges.insert(edges.end(), build[i].begin(), build[i].end());
+    }
+    offsets[n] = edges.size();
+    build.clear();
+    build.shrink_to_fit();
+    return total;
+  };
+  num_triples_ = compact(out_build_, out_offsets_, out_edges_);
+  compact(in_build_, in_offsets_, in_edges_);
   finalized_ = true;
 }
 
 bool Graph::HasTriple(NodeId s, Symbol p, NodeId o) const {
-  const auto& adj = out_[s];
+  const auto adj = Out(s);
   Edge target{p, o};
   if (finalized_) {
     return std::binary_search(adj.begin(), adj.end(), target);
@@ -95,6 +124,15 @@ std::vector<Symbol> Graph::EntityTypes() const {
 std::string Graph::DescribeNode(NodeId n) const {
   if (IsValue(n)) return "\"" + value_str(n) + "\"";
   return interner_.Resolve(entity_type(n)) + "#" + std::to_string(n);
+}
+
+size_t Graph::AdjacencyBytes() const {
+  size_t bytes = (out_edges_.capacity() + in_edges_.capacity()) * sizeof(Edge) +
+                 (out_offsets_.capacity() + in_offsets_.capacity()) *
+                     sizeof(size_t);
+  for (const auto& adj : out_build_) bytes += adj.capacity() * sizeof(Edge);
+  for (const auto& adj : in_build_) bytes += adj.capacity() * sizeof(Edge);
+  return bytes;
 }
 
 }  // namespace gkeys

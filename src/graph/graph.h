@@ -52,9 +52,14 @@ struct Triple {
 /// A directed edge-labeled graph over triples (paper §2.1).
 ///
 /// Construction: AddEntity / AddValue / AddTriple, then Finalize() once.
-/// Finalize() sorts adjacency lists (enabling O(log deg) triple lookup),
-/// deduplicates parallel edges, and freezes the graph for queries. All
-/// algorithm entry points require a finalized graph.
+/// Finalize() sorts and deduplicates adjacency and compacts it into CSR
+/// form — one flat offset array plus one contiguous edge array per
+/// direction — so the BFS / pairing / isomorphism inner loops scan
+/// cache-line-contiguous memory instead of chasing one heap allocation
+/// per node. The std::span accessors are representation-agnostic:
+/// consumers are identical before and after finalization. Mutating a
+/// finalized graph transparently thaws it back to adjacency-list form
+/// (rare; only tests and incremental loaders do this).
 ///
 /// Strings (types, predicates, values) are interned in a per-graph
 /// StringInterner so they compare by integer.
@@ -88,7 +93,8 @@ class Graph {
     return AddTriple(s, Intern(p), o);
   }
 
-  /// Sorts and deduplicates adjacency, freezes the graph. Idempotent.
+  /// Sorts and deduplicates adjacency and freezes it into CSR arrays.
+  /// Idempotent.
   void Finalize();
   bool finalized() const { return finalized_; }
 
@@ -118,11 +124,23 @@ class Graph {
   }
 
   /// Outgoing / incoming labeled edges of a node (sorted after Finalize()).
-  std::span<const Edge> Out(NodeId n) const { return out_[n]; }
-  std::span<const Edge> In(NodeId n) const { return in_[n]; }
+  std::span<const Edge> Out(NodeId n) const {
+    if (finalized_) {
+      return {out_edges_.data() + out_offsets_[n],
+              out_offsets_[n + 1] - out_offsets_[n]};
+    }
+    return out_build_[n];
+  }
+  std::span<const Edge> In(NodeId n) const {
+    if (finalized_) {
+      return {in_edges_.data() + in_offsets_[n],
+              in_offsets_[n + 1] - in_offsets_[n]};
+    }
+    return in_build_[n];
+  }
 
-  size_t OutDegree(NodeId n) const { return out_[n].size(); }
-  size_t InDegree(NodeId n) const { return in_[n].size(); }
+  size_t OutDegree(NodeId n) const { return Out(n).size(); }
+  size_t InDegree(NodeId n) const { return In(n).size(); }
 
   /// Whether triple (s, p, o) is in G. O(log deg) after Finalize().
   bool HasTriple(NodeId s, Symbol p, NodeId o) const;
@@ -139,8 +157,8 @@ class Graph {
   /// Invokes fn(Triple) for every triple.
   template <typename Fn>
   void ForEachTriple(Fn&& fn) const {
-    for (NodeId s = 0; s < out_.size(); ++s) {
-      for (const Edge& e : out_[s]) fn(Triple{s, e.pred, e.dst});
+    for (NodeId s = 0; s < NumNodes(); ++s) {
+      for (const Edge& e : Out(s)) fn(Triple{s, e.pred, e.dst});
     }
   }
 
@@ -150,13 +168,28 @@ class Graph {
   /// Human-readable node description for logging and examples.
   std::string DescribeNode(NodeId n) const;
 
+  /// Approximate heap footprint of the adjacency structures, in bytes
+  /// (the bytes-per-plan accounting reads this).
+  size_t AdjacencyBytes() const;
+
  private:
+  /// Rebuilds the per-node adjacency vectors from the CSR arrays so a
+  /// finalized graph can be mutated again.
+  void Thaw();
+
   StringInterner interner_;
   std::vector<NodeKind> kinds_;
   // Entity type symbol for entities; literal symbol for values.
   std::vector<Symbol> labels_;
-  std::vector<std::vector<Edge>> out_;
-  std::vector<std::vector<Edge>> in_;
+  // Construction-time adjacency; emptied by Finalize().
+  std::vector<std::vector<Edge>> out_build_;
+  std::vector<std::vector<Edge>> in_build_;
+  // Finalized CSR adjacency: edges of node n live at
+  // [offsets_[n], offsets_[n+1]), sorted by (pred, dst), deduplicated.
+  std::vector<size_t> out_offsets_;
+  std::vector<size_t> in_offsets_;
+  std::vector<Edge> out_edges_;
+  std::vector<Edge> in_edges_;
   std::unordered_map<Symbol, NodeId> value_nodes_;
   std::unordered_map<Symbol, std::vector<NodeId>> by_type_;
   size_t num_entities_ = 0;

@@ -1,33 +1,43 @@
 #include "graph/neighborhood.h"
 
-#include <deque>
-
 namespace gkeys {
 
 NodeSet DNeighbor(const Graph& g, NodeId center, int d) {
-  NodeSet result;
-  result.Insert(center);
-  if (d <= 0) return result;
-  std::deque<std::pair<NodeId, int>> frontier;
-  frontier.emplace_back(center, 0);
-  while (!frontier.empty()) {
-    auto [n, dist] = frontier.front();
-    frontier.pop_front();
-    if (dist >= d) continue;
-    for (const Edge& e : g.Out(n)) {
-      if (!result.Contains(e.dst)) {
-        result.Insert(e.dst);
-        frontier.emplace_back(e.dst, dist + 1);
+  // Level-order BFS over the CSR adjacency with a reusable visited map.
+  // The scratch buffer is thread-local (Phase A of plan compilation runs
+  // one DNeighbor per task across a thread pool) and is wiped by
+  // unmarking only the nodes actually reached, so a call costs
+  // O(|Gd| + edges scanned), not O(|G|).
+  static thread_local std::vector<uint8_t> visited;
+  if (visited.size() < g.NumNodes()) visited.resize(g.NumNodes(), 0);
+
+  std::vector<NodeId> found;
+  found.push_back(center);
+  visited[center] = 1;
+  size_t level_begin = 0;
+  size_t level_end = 1;
+  for (int dist = 0; dist < d && level_begin < level_end; ++dist) {
+    for (size_t i = level_begin; i < level_end; ++i) {
+      NodeId n = found[i];
+      for (const Edge& e : g.Out(n)) {
+        if (!visited[e.dst]) {
+          visited[e.dst] = 1;
+          found.push_back(e.dst);
+        }
+      }
+      for (const Edge& e : g.In(n)) {
+        if (!visited[e.dst]) {
+          visited[e.dst] = 1;
+          found.push_back(e.dst);
+        }
       }
     }
-    for (const Edge& e : g.In(n)) {
-      if (!result.Contains(e.dst)) {
-        result.Insert(e.dst);
-        frontier.emplace_back(e.dst, dist + 1);
-      }
-    }
+    level_begin = level_end;
+    level_end = found.size();
   }
-  return result;
+  for (NodeId n : found) visited[n] = 0;
+  std::sort(found.begin(), found.end());
+  return NodeSet::FromSorted(std::move(found));
 }
 
 size_t InducedTripleCount(const Graph& g, const NodeSet& nodes) {

@@ -111,16 +111,19 @@ PairingResult ComputeMaxPairing(const Graph& g, const CompiledPattern& cp,
   result.paired = cand[cp.designated].count(Pack(e1, e2)) > 0;
   if (result.paired) {
     PairSet dedup;
+    std::vector<NodeId> r1, r2;
     for (const PairSet& ps : cand) {
       result.relation_size += ps.size();
       for (uint64_t p : ps) {
-        result.reduced1.Insert(First(p));
-        result.reduced2.Insert(Second(p));
+        r1.push_back(First(p));
+        r2.push_back(Second(p));
         if (collect_pairs && dedup.insert(p).second) {
           result.pairs.push_back(p);
         }
       }
     }
+    result.reduced1 = NodeSet(std::move(r1));
+    result.reduced2 = NodeSet(std::move(r2));
   }
   return result;
 }

@@ -133,10 +133,16 @@ TEST(Optimizations, PairingReducesCandidates) {
   cfg.chain_length = 2;
   cfg.entities_per_type = 20;
   SyntheticDataset ds = GenerateSynthetic(cfg);
+  // Signature blocking already removes every unidentifiable pair here;
+  // run without it so the comparison isolates the pairing filter.
+  EmOptions base_opts = EmOptions::For(Algorithm::kEmMr, 2);
+  base_opts.use_blocking = false;
   MatchResult base =
-      MatchEntities(ds.graph, ds.keys, Algorithm::kEmMr, 2);
+      MatchEntities(ds.graph, ds.keys, Algorithm::kEmMr, base_opts);
+  EmOptions opt_opts = EmOptions::For(Algorithm::kEmOptMr, 2);
+  opt_opts.use_blocking = false;
   MatchResult opt =
-      MatchEntities(ds.graph, ds.keys, Algorithm::kEmOptMr, 2);
+      MatchEntities(ds.graph, ds.keys, Algorithm::kEmOptMr, opt_opts);
   EXPECT_EQ(base.pairs, opt.pairs);
   EXPECT_LT(opt.stats.candidates, base.stats.candidates)
       << "pairing must filter unidentifiable pairs from L";

@@ -74,13 +74,16 @@ StatusOr<KeySet> LoadKeys(const std::string& path) {
   return keys;
 }
 
-Algorithm ParseAlgorithm(const std::string& name) {
+StatusOr<Algorithm> ParseAlgorithm(const std::string& name) {
   if (name == "NaiveChase") return Algorithm::kNaiveChase;
   if (name == "EMMR") return Algorithm::kEmMr;
   if (name == "EMVF2MR") return Algorithm::kEmVf2Mr;
   if (name == "EMOptMR") return Algorithm::kEmOptMr;
   if (name == "EMVC") return Algorithm::kEmVc;
-  return Algorithm::kEmOptVc;
+  if (name == "EMOptVC") return Algorithm::kEmOptVc;
+  return Status::InvalidArgument(
+      "unknown --algorithm '" + name +
+      "'; valid names: NaiveChase, EMMR, EMVF2MR, EMOptMR, EMVC, EMOptVC");
 }
 
 int CmdMatch(int argc, char** argv) {
@@ -95,8 +98,13 @@ int CmdMatch(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
     return 1;
   }
-  Algorithm algo =
+  auto algo_or =
       ParseAlgorithm(FlagValue(argc, argv, "--algorithm", "EMOptVC"));
+  if (!algo_or.ok()) {
+    std::fprintf(stderr, "%s\n", algo_or.status().ToString().c_str());
+    return 2;
+  }
+  Algorithm algo = *algo_or;
   int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
   if (p <= 0) p = 4;
 
