@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "graph/neighborhood.h"
 #include "isomorph/pairing.h"
+#include "isomorph/pairing_reference.h"
 #include "isomorph/vf2.h"
 
 namespace gkeys {
@@ -25,6 +26,10 @@ struct MicroFixture {
 
   MicroFixture() : ds(MakeDataset(Dataset::kSynthetic, 1.0, 2, 2)) {
     EmOptions opts;
+    // Unblocked enumeration: these benches probe single candidate-pair
+    // calls, and with signature blocking on every surviving candidate can
+    // be a planted (positive) pair — the negative probe would not exist.
+    opts.use_blocking = false;
     ctx = std::make_unique<EmContext>(ds.graph, ds.keys, opts);
     eq = EquivalenceRelation(ds.graph.NumNodes());
     for (auto [a, b] : ds.planted) eq.Union(a, b);
@@ -79,6 +84,10 @@ BENCHMARK(BM_Vf2EnumerationPositive);
 
 void BM_EvalSearchNegative(benchmark::State& state) {
   MicroFixture& f = MicroFixture::Get();
+  if (f.negative_candidate == nullptr) {
+    state.SkipWithError("no negative candidate in the workload");
+    return;
+  }
   const Candidate& c = *f.negative_candidate;
   EqView view(&f.eq);
   for (auto _ : state) {
@@ -93,18 +102,82 @@ void BM_EvalSearchNegative(benchmark::State& state) {
 BENCHMARK(BM_EvalSearchNegative);
 
 void BM_PairingComputation(benchmark::State& state) {
+  // Scratch reuse mirrors how the engines call pairing (one arena per
+  // worker thread, reused across every candidate pair).
   MicroFixture& f = MicroFixture::Get();
   const Candidate& c = *f.planted_candidate;
+  PairingScratch scratch;
   for (auto _ : state) {
     for (int ki : *c.keys) {
       PairingResult pr =
           ComputeMaxPairing(f.ds.graph, f.ctx->compiled_keys()[ki].cp,
-                            c.e1, c.e2, *c.nbr1, *c.nbr2);
+                            c.e1, c.e2, *c.nbr1, *c.nbr2,
+                            /*collect_pairs=*/false, &scratch);
       benchmark::DoNotOptimize(pr.paired);
     }
   }
 }
 BENCHMARK(BM_PairingComputation);
+
+void BM_PairingReference(benchmark::State& state) {
+  // The pre-dense-worklist implementation on the same inputs, kept timed
+  // so the BM_PairingComputation speedup stays measured per commit.
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  for (auto _ : state) {
+    for (int ki : *c.keys) {
+      PairingResult pr =
+          ReferenceMaxPairing(f.ds.graph, f.ctx->compiled_keys()[ki].cp,
+                              c.e1, c.e2, *c.nbr1, *c.nbr2);
+      benchmark::DoNotOptimize(pr.paired);
+    }
+  }
+}
+BENCHMARK(BM_PairingReference);
+
+void BM_PairingDense(benchmark::State& state) {
+  // Pairing over full (unreduced) d-neighborhoods of one candidate as d
+  // grows: the dense-worklist fixpoint's target regime (bench_vary_d's
+  // prep axis distilled to the per-pair call).
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  const int d = static_cast<int>(state.range(0));
+  NodeSet n1 = DNeighbor(f.ds.graph, c.e1, d);
+  NodeSet n2 = DNeighbor(f.ds.graph, c.e2, d);
+  PairingScratch scratch;
+  size_t relation = 0;
+  for (auto _ : state) {
+    for (int ki : *c.keys) {
+      PairingResult pr =
+          ComputeMaxPairing(f.ds.graph, f.ctx->compiled_keys()[ki].cp,
+                            c.e1, c.e2, n1, n2,
+                            /*collect_pairs=*/false, &scratch);
+      relation = std::max(relation, pr.relation_size);
+      benchmark::DoNotOptimize(pr.paired);
+    }
+  }
+  state.counters["nbr_nodes"] = static_cast<double>(n1.size() + n2.size());
+  state.counters["relation"] = static_cast<double>(relation);
+}
+BENCHMARK(BM_PairingDense)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PairingReferenceDense(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  const Candidate& c = *f.planted_candidate;
+  const int d = static_cast<int>(state.range(0));
+  NodeSet n1 = DNeighbor(f.ds.graph, c.e1, d);
+  NodeSet n2 = DNeighbor(f.ds.graph, c.e2, d);
+  for (auto _ : state) {
+    for (int ki : *c.keys) {
+      PairingResult pr =
+          ReferenceMaxPairing(f.ds.graph, f.ctx->compiled_keys()[ki].cp,
+                              c.e1, c.e2, n1, n2);
+      benchmark::DoNotOptimize(pr.paired);
+    }
+  }
+  state.counters["nbr_nodes"] = static_cast<double>(n1.size() + n2.size());
+}
+BENCHMARK(BM_PairingReferenceDense)->Arg(2)->Arg(3)->Arg(4);
 
 void BM_DNeighborExtraction(benchmark::State& state) {
   MicroFixture& f = MicroFixture::Get();
@@ -149,7 +222,10 @@ int main(int argc, char** argv) {
   gkeys::bench::InitJson(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  // The capture reporter mirrors every run into the --json sink, so the
+  // CI artifact records the pairing / search micro timings per commit.
+  gkeys::bench::JsonRowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   gkeys::bench::FlushJson();
   return 0;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "core/entity_matcher.h"
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
@@ -25,9 +26,7 @@ namespace bench {
 
 struct JsonSink {
   std::string path;
-  std::vector<std::pair<std::string,
-                        std::vector<std::pair<std::string, double>>>>
-      rows;
+  JsonRows rows;
 
   static JsonSink& Get() {
     static JsonSink sink;
@@ -60,6 +59,8 @@ inline void JsonRow(
 }
 
 /// Writes all recorded rows. Call once, after RunSpecifiedBenchmarks.
+/// Names and keys are escaped and non-finite values become null
+/// (RenderJsonRows), so the artifact always parses.
 inline void FlushJson() {
   JsonSink& sink = JsonSink::Get();
   if (sink.path.empty()) return;
@@ -68,18 +69,34 @@ inline void FlushJson() {
     std::fprintf(stderr, "cannot write %s\n", sink.path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < sink.rows.size(); ++i) {
-    const auto& [name, fields] = sink.rows[i];
-    std::fprintf(f, "  {\"name\": \"%s\"", name.c_str());
-    for (const auto& [key, value] : fields) {
-      std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
-    }
-    std::fprintf(f, "}%s\n", i + 1 == sink.rows.size() ? "" : ",");
-  }
-  std::fprintf(f, "]\n");
+  std::string body = RenderJsonRows(sink.rows);
+  std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
 }
+
+/// A console reporter that additionally records every finished benchmark
+/// run as a JsonRow (per-iteration real/cpu seconds, iterations, user
+/// counters), so micro benches publish machine-readable rows without
+/// hand-timing. Pass to RunSpecifiedBenchmarks in place of the default.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      std::vector<std::pair<std::string, double>> fields = {
+          {"real_s_per_iter",
+           run.real_accumulated_time / static_cast<double>(run.iterations)},
+          {"cpu_s_per_iter",
+           run.cpu_accumulated_time / static_cast<double>(run.iterations)},
+          {"iterations", static_cast<double>(run.iterations)}};
+      for (const auto& [cname, counter] : run.counters) {
+        fields.emplace_back(cname, counter.value);
+      }
+      JsonRow(run.benchmark_name(), std::move(fields));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
 
 /// The three evaluation datasets of paper §6.
 enum class Dataset { kGoogle, kDBpedia, kSynthetic };

@@ -1,0 +1,88 @@
+#ifndef GKEYS_COMMON_JSON_WRITER_H_
+#define GKEYS_COMMON_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gkeys {
+
+/// Appends `s` escaped for the inside of a JSON string literal (no
+/// surrounding quotes): quotes, backslashes, and control characters
+/// become escape sequences, so arbitrary benchmark / dataset names stay
+/// parseable.
+inline void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+inline std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(s, &out);
+  return out;
+}
+
+/// Appends a JSON number token. JSON has no NaN / Infinity literals, so
+/// non-finite values are emitted as null.
+inline void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out->append(buf);
+}
+
+/// The row shape the bench JSON sink records: (name, numeric fields).
+using JsonRows =
+    std::vector<std::pair<std::string,
+                          std::vector<std::pair<std::string, double>>>>;
+
+/// Renders rows as a JSON array of flat objects — the bench artifact
+/// format CI archives and parses.
+inline std::string RenderJsonRows(const JsonRows& rows) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& [name, fields] = rows[i];
+    out.append("  {\"name\": \"");
+    AppendJsonEscaped(name, &out);
+    out.push_back('"');
+    for (const auto& [key, value] : fields) {
+      out.append(", \"");
+      AppendJsonEscaped(key, &out);
+      out.append("\": ");
+      AppendJsonNumber(value, &out);
+    }
+    out.push_back('}');
+    if (i + 1 != rows.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out.append("]\n");
+  return out;
+}
+
+}  // namespace gkeys
+
+#endif  // GKEYS_COMMON_JSON_WRITER_H_

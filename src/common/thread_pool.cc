@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace gkeys {
 
@@ -33,9 +34,24 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
+  // Decrements in_flight_ on every exit path — a throwing task must still
+  // count down, or Wait() blocks forever on a count that never reaches 0.
+  struct InFlightGuard {
+    ThreadPool* pool;
+    ~InFlightGuard() {
+      std::unique_lock<std::mutex> lock(pool->mu_);
+      --pool->in_flight_;
+      if (pool->in_flight_ == 0) pool->cv_done_.notify_all();
+    }
+  };
   for (;;) {
     std::function<void()> task;
     {
@@ -45,11 +61,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
+      InFlightGuard guard{this};
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (first_error_ == nullptr) {
+          first_error_ = std::current_exception();
+        }
+      }
     }
   }
 }
@@ -69,6 +90,11 @@ void ParallelShards(int num_threads, size_t n,
     fn(0, 0, n);
     return;
   }
+  // A shard exception must not escape its std::thread (std::terminate);
+  // the first one is captured and rethrown on the calling thread after
+  // every shard has joined, matching ThreadPool::Wait's contract.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   std::vector<std::thread> threads;
   threads.reserve(p);
   size_t chunk = (n + p - 1) / p;
@@ -76,9 +102,17 @@ void ParallelShards(int num_threads, size_t n,
     size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+    threads.emplace_back([&fn, &error_mu, &first_error, t, begin, end] {
+      try {
+        fn(t, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
   }
   for (auto& th : threads) th.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace gkeys

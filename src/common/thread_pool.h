@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +29,12 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished (including tasks that
+  /// exited by throwing). If any task threw since the last Wait(), the
+  /// first captured exception is rethrown here — the failure surfaces on
+  /// the waiting thread instead of tearing down a worker — and the pool
+  /// stays usable. Exceptions never drained by a Wait() are dropped on
+  /// destruction.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
@@ -43,15 +49,21 @@ class ThreadPool {
   std::condition_variable cv_done_;
   size_t in_flight_ = 0;  // queued + running tasks, guarded by mu_
   bool stop_ = false;     // guarded by mu_
+  std::exception_ptr first_error_;  // first task exception, guarded by mu_
 };
 
 /// Runs `fn(i)` for i in [0, n) across `num_threads` threads, blocking until
-/// all iterations finish. Work is divided into contiguous chunks.
+/// all iterations finish. Work is divided into contiguous chunks. If an
+/// iteration throws, the first exception is rethrown on the calling thread
+/// after all chunks finish (see ParallelShards).
 void ParallelFor(int num_threads, size_t n,
                  const std::function<void(size_t)>& fn);
 
 /// Runs `fn(shard, begin, end)` for `num_threads` contiguous shards of
 /// [0, n). Useful when per-thread state (e.g., a local buffer) is needed.
+/// If a shard throws, the remaining shards still run to completion and the
+/// first captured exception is rethrown on the calling thread afterwards
+/// (an exception escaping a worker thread would std::terminate).
 void ParallelShards(int num_threads, size_t n,
                     const std::function<void(int, size_t, size_t)>& fn);
 

@@ -339,19 +339,27 @@ void EmContext::BuildCandidates() {
   };
   std::vector<Reduction> reductions(opts_.use_pairing ? raw.size() : 0);
   if (opts_.use_pairing) {
-    ParallelFor(p, raw.size(), [&](size_t i) {
-      const RawPair& rp = raw[i];
-      const NodeSet& n1 = DNbr(rp.e1);
-      const NodeSet& n2 = DNbr(rp.e2);
-      Reduction& red = reductions[i];
-      red.keep = false;
-      for (int ki : *rp.keys) {
-        PairingResult pr =
-            ComputeMaxPairing(g, compiled_[ki].cp, rp.e1, rp.e2, n1, n2);
-        if (pr.paired) {
-          red.keep = true;  // §4.2: keep only pairable pairs (Prop. 9)
-          red.r1.UnionWith(pr.reduced1);
-          red.r2.UnionWith(pr.reduced2);
+    // Sharded so each worker owns one PairingScratch: the pairing calls
+    // reuse domain/bitset/worklist buffers across the whole shard instead
+    // of reallocating per candidate pair.
+    std::vector<PairingScratch> scratches(p);
+    ParallelShards(p, raw.size(), [&](int shard, size_t begin, size_t end) {
+      PairingScratch& scratch = scratches[shard];
+      for (size_t i = begin; i < end; ++i) {
+        const RawPair& rp = raw[i];
+        const NodeSet& n1 = DNbr(rp.e1);
+        const NodeSet& n2 = DNbr(rp.e2);
+        Reduction& red = reductions[i];
+        red.keep = false;
+        for (int ki : *rp.keys) {
+          PairingResult pr =
+              ComputeMaxPairing(g, compiled_[ki].cp, rp.e1, rp.e2, n1, n2,
+                                /*collect_pairs=*/false, &scratch);
+          if (pr.paired) {
+            red.keep = true;  // §4.2: keep only pairable pairs (Prop. 9)
+            red.r1.UnionWith(pr.reduced1);
+            red.r2.UnionWith(pr.reduced2);
+          }
         }
       }
     });
@@ -526,8 +534,7 @@ bool EmContext::Identifies(const Candidate& c, const EqView& eq,
 
 void internal::PairStreamer::EmitPair(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);
-  uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
-  if (!emitted_.insert(packed).second) return;
+  if (!emitted_.insert(PackPair(a, b)).second) return;
   sink_->OnPair(a, b);
 }
 
@@ -563,8 +570,7 @@ Status internal::PairStreamer::Finish(
     const std::vector<std::pair<NodeId, NodeId>>& final_pairs) {
   if (sink_ == nullptr) return Status::OK();
   for (const auto& [a, b] : final_pairs) {
-    uint64_t packed = (static_cast<uint64_t>(a) << 32) | b;
-    if (!emitted_.insert(packed).second) continue;
+    if (!emitted_.insert(PackPair(a, b)).second) continue;
     sink_->OnPair(a, b);
   }
   if (emitted_.size() != final_pairs.size()) {

@@ -47,7 +47,8 @@ ProductGraph BuildProductGraph(const EmContext& ctx) {
   };
 
   // Vp: every pair surviving in the maximum pairing relation of some key
-  // at some candidate (paper §5.1).
+  // at some candidate (paper §5.1). One scratch serves the whole build.
+  PairingScratch scratch;
   pg.candidate_nodes_.assign(ctx.candidates().size(), kNoPNode);
   for (uint32_t i = 0; i < ctx.candidates().size(); ++i) {
     const Candidate& c = ctx.candidates()[i];
@@ -55,7 +56,8 @@ ProductGraph BuildProductGraph(const EmContext& ctx) {
     for (int ki : *c.keys) {
       PairingResult pr =
           ComputeMaxPairing(g, ctx.compiled_keys()[ki].cp, c.e1, c.e2,
-                            *c.nbr1, *c.nbr2, /*collect_pairs=*/true);
+                            *c.nbr1, *c.nbr2, /*collect_pairs=*/true,
+                            &scratch);
       if (!pr.paired) continue;
       any = true;
       for (uint64_t p : pr.pairs) {

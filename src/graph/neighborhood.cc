@@ -2,14 +2,36 @@
 
 namespace gkeys {
 
+namespace {
+
+// Reusable visited map for the BFS below, thread-local because Phase A of
+// plan compilation runs one DNeighbor per task across a thread pool.
+// Below this capacity the buffer is never shrunk (reallocation churn would
+// cost more than it frees).
+constexpr size_t kScratchShrinkMinBytes = size_t{1} << 16;
+thread_local std::vector<uint8_t> tl_visited;
+
+}  // namespace
+
+namespace internal {
+size_t DNeighborScratchBytes() { return tl_visited.capacity(); }
+}  // namespace internal
+
 NodeSet DNeighbor(const Graph& g, NodeId center, int d) {
-  // Level-order BFS over the CSR adjacency with a reusable visited map.
-  // The scratch buffer is thread-local (Phase A of plan compilation runs
-  // one DNeighbor per task across a thread pool) and is wiped by
-  // unmarking only the nodes actually reached, so a call costs
+  // Level-order BFS over the CSR adjacency with a reusable visited map,
+  // wiped by unmarking only the nodes actually reached, so a call costs
   // O(|Gd| + edges scanned), not O(|G|).
-  static thread_local std::vector<uint8_t> visited;
-  if (visited.size() < g.NumNodes()) visited.resize(g.NumNodes(), 0);
+  std::vector<uint8_t>& visited = tl_visited;
+  const size_t need = g.NumNodes();
+  if (visited.size() < need) {
+    visited.resize(need, 0);
+  } else if (visited.capacity() >= kScratchShrinkMinBytes &&
+             visited.capacity() / 4 >= need) {
+    // The scratch was sized for a much larger graph than the current one;
+    // without this it would pin the largest graph ever seen on this
+    // thread for the thread's whole lifetime.
+    std::vector<uint8_t>(need, 0).swap(visited);
+  }
 
   std::vector<NodeId> found;
   found.push_back(center);

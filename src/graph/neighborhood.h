@@ -109,6 +109,13 @@ NodeSet DNeighbor(const Graph& g, NodeId center, int d);
 /// analysis; used by the optimization-effectiveness benchmarks).
 size_t InducedTripleCount(const Graph& g, const NodeSet& nodes);
 
+namespace internal {
+/// Capacity in bytes of the calling thread's DNeighbor visited scratch.
+/// Test hook for the shrink-on-much-smaller-graph policy; the buffer is
+/// released when it is ≥ 4× the current graph (and ≥ 64 KiB).
+size_t DNeighborScratchBytes();
+}  // namespace internal
+
 }  // namespace gkeys
 
 #endif  // GKEYS_GRAPH_NEIGHBORHOOD_H_

@@ -15,8 +15,11 @@ struct SearchContext {
   const NodeSet* n1;
   const NodeSet* n2;
   SearchStats* stats;
-  // m: per pattern node, the instantiated pair; kNoNode == ⊥.
-  std::vector<std::pair<NodeId, NodeId>> m;
+  // m: per pattern node, the instantiated pair; kNoNode == ⊥. References
+  // a per-thread buffer: the engines call this once per candidate pair
+  // per round, and the buffer (pattern-sized, so tiny and bounded) would
+  // otherwise be reallocated on every call.
+  std::vector<std::pair<NodeId, NodeId>>& m;
 
   bool InSide1(NodeId n) const { return n1 == nullptr || n1->Contains(n); }
   bool InSide2(NodeId n) const { return n2 == nullptr || n2->Contains(n); }
@@ -136,9 +139,9 @@ bool KeyIdentifiesWitness(const Graph& g, const CompiledPattern& cp,
   if (!g.IsEntity(e1) || !g.IsEntity(e2)) return false;
   if (g.entity_type(e1) != x.type || g.entity_type(e2) != x.type) return false;
 
-  SearchContext ctx{g,  cp, eq, n1, n2, stats,
-                    std::vector<std::pair<NodeId, NodeId>>(
-                        cp.nodes.size(), {kNoNode, kNoNode})};
+  static thread_local std::vector<std::pair<NodeId, NodeId>> m_scratch;
+  m_scratch.assign(cp.nodes.size(), {kNoNode, kNoNode});
+  SearchContext ctx{g, cp, eq, n1, n2, stats, m_scratch};
   if (!ctx.InSide1(e1) || !ctx.InSide2(e2)) return false;
   ctx.m[cp.designated] = {e1, e2};
   // Self-loops on x must hold before expansion.

@@ -1,131 +1,435 @@
 #include "isomorph/pairing.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <optional>
 #include <vector>
 
 namespace gkeys {
 
 namespace {
 
-uint64_t Pack(NodeId a, NodeId b) {
-  return (static_cast<uint64_t>(a) << 32) | b;
-}
-NodeId First(uint64_t p) { return static_cast<NodeId>(p >> 32); }
-NodeId Second(uint64_t p) { return static_cast<NodeId>(p & 0xffffffffu); }
+/// A compact row-indexed adjacency: Row(i) lists the dense candidate ids
+/// reachable from candidate i along one pattern triple on one side.
+struct Csr {
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> targets;
 
-using PairSet = std::unordered_set<uint64_t>;
+  void Reset(size_t rows) {
+    offsets.assign(rows + 1, 0);
+    targets.clear();
+  }
+
+  std::span<const uint32_t> Row(size_t i) const {
+    return {targets.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+};
+
+/// Fills `rev` with the transpose of `fwd` (`out_rows` target rows).
+void Transpose(const Csr& fwd, size_t out_rows, Csr* rev,
+               std::vector<uint32_t>* cursor) {
+  rev->offsets.assign(out_rows + 1, 0);
+  for (uint32_t t : fwd.targets) ++rev->offsets[t + 1];
+  for (size_t i = 1; i < rev->offsets.size(); ++i) {
+    rev->offsets[i] += rev->offsets[i - 1];
+  }
+  rev->targets.resize(fwd.targets.size());
+  cursor->assign(rev->offsets.begin(), rev->offsets.end() - 1);
+  for (size_t i = 0; i + 1 < fwd.offsets.size(); ++i) {
+    for (uint32_t j = fwd.offsets[i]; j < fwd.offsets[i + 1]; ++j) {
+      rev->targets[(*cursor)[fwd.targets[j]]++] =
+          static_cast<uint32_t>(i);
+    }
+  }
+}
+
+/// Candidate domains and the pair relation of one pattern node. dom1/dom2
+/// are ascending NodeIds; rel is a |dom1|×|dom2| bitset, row-major in
+/// 64-bit words (`words` per row, tail bits always zero).
+struct NodeState {
+  std::vector<NodeId> dom1, dom2;
+  size_t words = 0;
+  std::vector<uint64_t> rel;
+};
+
+/// Witness adjacency of one pattern triple (subject s, object o): dense
+/// candidate ids of s mapped to the ids of o they can reach along the
+/// triple's predicate, per side, plus the transposes (for deletion
+/// propagation) and per-right-candidate column masks (so a support check
+/// is rows-of-interest ANDed against one mask, word by word).
+struct TripleState {
+  Csr lfwd;  // s left id  -> o left ids
+  Csr lrev;  // o left id  -> s left ids
+  Csr rfwd;  // s right id -> o right ids
+  Csr rrev;  // o right id -> s right ids
+  std::vector<uint64_t> fwd_mask;  // [s right id] × o.words
+  std::vector<uint64_t> rev_mask;  // [o right id] × s.words
+};
+
+struct Deletion {
+  uint32_t node, i, j;
+};
 
 }  // namespace
 
-PairingResult ComputeMaxPairing(const Graph& g, const CompiledPattern& cp,
-                                NodeId e1, NodeId e2, const NodeSet& n1,
-                                const NodeSet& n2, bool collect_pairs) {
-  PairingResult result;
-  if (!cp.matchable) return result;
+struct PairingScratch::State {
+  // Outer vectors only ever grow so inner buffers keep their capacity.
+  std::vector<NodeState> nodes;
+  std::vector<TripleState> triples;
+  std::vector<Deletion> worklist;
+  std::vector<uint32_t> cursor;      // Transpose scratch
+  std::vector<uint64_t> colmask;     // column-occupancy scratch
+  std::vector<NodeId> collect1, collect2;
+  std::vector<uint64_t> pair_buf;
+};
 
-  const size_t num_nodes = cp.nodes.size();
-  std::vector<PairSet> cand(num_nodes);
+PairingScratch::PairingScratch() : state_(std::make_unique<State>()) {}
+PairingScratch::~PairingScratch() = default;
+PairingScratch::PairingScratch(PairingScratch&&) noexcept = default;
+PairingScratch& PairingScratch::operator=(PairingScratch&&) noexcept =
+    default;
 
-  // Initialization: all locally compatible pairs (condition 2a of §4.2).
-  auto entities_of_type = [&](const NodeSet& side, Symbol type) {
-    std::vector<NodeId> out;
-    for (NodeId n : side) {
-      if (g.IsEntity(n) && g.entity_type(n) == type) out.push_back(n);
+class PairingEngine {
+ public:
+  PairingEngine(const Graph& g, const CompiledPattern& cp, const NodeSet& n1,
+                const NodeSet& n2, PairingScratch::State& st)
+      : g_(g), cp_(cp), n1_(n1), n2_(n2), st_(st) {
+    if (st_.nodes.size() < cp.nodes.size()) st_.nodes.resize(cp.nodes.size());
+    if (st_.triples.size() < cp.triples.size()) {
+      st_.triples.resize(cp.triples.size());
     }
-    return out;
-  };
-  for (size_t v = 0; v < num_nodes; ++v) {
-    const CompiledNode& pn = cp.nodes[v];
-    switch (pn.kind) {
-      case VarKind::kDesignated:
-      case VarKind::kEntityVar:
-      case VarKind::kWildcard: {
-        auto left = entities_of_type(n1, pn.type);
-        auto right = entities_of_type(n2, pn.type);
-        for (NodeId a : left) {
-          for (NodeId b : right) cand[v].insert(Pack(a, b));
-        }
-        break;
+    st_.worklist.clear();
+  }
+
+  PairingResult Run(NodeId e1, NodeId e2, bool collect_pairs);
+
+ private:
+  static size_t Words(size_t cols) { return (cols + 63) / 64; }
+
+  uint64_t* RelRow(NodeState& ns, size_t i) {
+    return ns.rel.data() + i * ns.words;
+  }
+
+  bool TestBit(const NodeState& ns, size_t i, size_t j) const {
+    return (ns.rel[i * ns.words + (j >> 6)] >> (j & 63)) & 1;
+  }
+
+  void ClearBit(NodeState& ns, size_t i, size_t j) {
+    ns.rel[i * ns.words + (j >> 6)] &= ~(uint64_t{1} << (j & 63));
+  }
+
+  static int IndexOf(const std::vector<NodeId>& dom, NodeId n) {
+    auto it = std::lower_bound(dom.begin(), dom.end(), n);
+    if (it == dom.end() || *it != n) return -1;
+    return static_cast<int>(it - dom.begin());
+  }
+
+  /// Invokes fn(dst) for every out-edge of `n` labeled `pred`; a binary
+  /// search narrows finalized (sorted) adjacency to the predicate run.
+  template <typename Fn>
+  void ForEachOut(NodeId n, Symbol pred, Fn&& fn) const {
+    std::span<const Edge> es = g_.Out(n);
+    if (g_.finalized()) {
+      auto it = std::lower_bound(es.begin(), es.end(), Edge{pred, 0});
+      for (; it != es.end() && it->pred == pred; ++it) fn(it->dst);
+    } else {
+      for (const Edge& e : es) {
+        if (e.pred == pred) fn(e.dst);
       }
-      case VarKind::kValueVar:
-        for (NodeId n : n1) {
-          if (g.IsValue(n) && n2.Contains(n)) cand[v].insert(Pack(n, n));
-        }
-        break;
-      case VarKind::kConstant:
-        if (pn.constant_node != kNoNode && n1.Contains(pn.constant_node) &&
-            n2.Contains(pn.constant_node)) {
-          cand[v].insert(Pack(pn.constant_node, pn.constant_node));
-        }
-        break;
     }
   }
 
-  // Fixpoint pruning (condition 2b): delete triples lacking a witness
-  // along some incident pattern edge.
-  auto has_witness = [&](NodeId s1, NodeId s2, const CompiledTriple& ct,
-                         bool v_is_subject) -> bool {
-    int other = v_is_subject ? ct.object : ct.subject;
-    const auto edges1 = v_is_subject ? g.Out(s1) : g.In(s1);
-    const auto edges2 = v_is_subject ? g.Out(s2) : g.In(s2);
-    for (const Edge& a : edges1) {
-      if (a.pred != ct.pred || !n1.Contains(a.dst)) continue;
-      for (const Edge& b : edges2) {
-        if (b.pred != ct.pred || !n2.Contains(b.dst)) continue;
-        if (cand[other].count(Pack(a.dst, b.dst)) > 0) return true;
+  /// Builds dom1/dom2 of every pattern node and the initial (locally
+  /// compatible) relation. Returns false when some domain is empty: the
+  /// pattern is connected, so the fixpoint would wipe every relation and
+  /// nothing can pair.
+  bool BuildDomains();
+
+  /// Builds the per-triple witness adjacency and column masks.
+  void BuildAdjacency();
+
+  /// Whether pair (i, j) of node v still has a witness along triple t in
+  /// the given role: some reachable pair of the other endpoint survives.
+  bool HasSupport(int v, uint32_t i, uint32_t j, int t,
+                  bool as_subject) const {
+    const TripleState& ts = st_.triples[t];
+    const CompiledTriple& ct = cp_.triples[t];
+    int other = as_subject ? ct.object : ct.subject;
+    const NodeState& os = st_.nodes[other];
+    const Csr& rows = as_subject ? ts.lfwd : ts.lrev;
+    const std::vector<uint64_t>& masks =
+        as_subject ? ts.fwd_mask : ts.rev_mask;
+    const uint64_t* mask = masks.data() + j * os.words;
+    for (uint32_t i2 : rows.Row(i)) {
+      const uint64_t* row = os.rel.data() + i2 * os.words;
+      for (size_t w = 0; w < os.words; ++w) {
+        if (row[w] & mask[w]) return true;
       }
     }
     return false;
-  };
+  }
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t v = 0; v < num_nodes; ++v) {
-      for (auto it = cand[v].begin(); it != cand[v].end();) {
-        NodeId s1 = First(*it), s2 = Second(*it);
-        bool ok = true;
-        for (int t : cp.incident[v]) {
-          const CompiledTriple& ct = cp.triples[t];
-          if (ct.subject == static_cast<int>(v) &&
-              !has_witness(s1, s2, ct, /*v_is_subject=*/true)) {
-            ok = false;
-            break;
-          }
-          if (ct.object == static_cast<int>(v) &&
-              !has_witness(s1, s2, ct, /*v_is_subject=*/false)) {
-            ok = false;
-            break;
+  /// Whether pair (i, j) of node v is supported along every incident
+  /// triple (condition 2b of §4.2).
+  bool Supported(int v, uint32_t i, uint32_t j) const {
+    for (int t : cp_.incident[v]) {
+      const CompiledTriple& ct = cp_.triples[t];
+      if (ct.subject == v && !HasSupport(v, i, j, t, /*as_subject=*/true)) {
+        return false;
+      }
+      if (ct.object == v && !HasSupport(v, i, j, t, /*as_subject=*/false)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Delete(uint32_t v, uint32_t i, uint32_t j) {
+    ClearBit(st_.nodes[v], i, j);
+    st_.worklist.push_back(Deletion{v, i, j});
+  }
+
+  /// Drains the worklist: each deleted pair re-checks exactly the
+  /// neighbor pairs whose witness it could have been (its adjacency
+  /// preimage along each incident triple), so propagation is O(degree)
+  /// per deletion instead of a full-relation rescan.
+  void Propagate();
+
+  const Graph& g_;
+  const CompiledPattern& cp_;
+  const NodeSet& n1_;
+  const NodeSet& n2_;
+  PairingScratch::State& st_;
+};
+
+bool PairingEngine::BuildDomains() {
+  for (size_t v = 0; v < cp_.nodes.size(); ++v) {
+    const CompiledNode& pn = cp_.nodes[v];
+    NodeState& ns = st_.nodes[v];
+    ns.dom1.clear();
+    ns.dom2.clear();
+    switch (pn.kind) {
+      case VarKind::kDesignated:
+      case VarKind::kEntityVar:
+      case VarKind::kWildcard:
+        for (NodeId n : n1_) {
+          if (g_.IsEntity(n) && g_.entity_type(n) == pn.type) {
+            ns.dom1.push_back(n);
           }
         }
-        if (!ok) {
-          it = cand[v].erase(it);
-          changed = true;
-        } else {
-          ++it;
+        for (NodeId n : n2_) {
+          if (g_.IsEntity(n) && g_.entity_type(n) == pn.type) {
+            ns.dom2.push_back(n);
+          }
+        }
+        break;
+      case VarKind::kValueVar:
+        for (NodeId n : n1_) {
+          if (g_.IsValue(n) && n2_.Contains(n)) ns.dom1.push_back(n);
+        }
+        ns.dom2 = ns.dom1;
+        break;
+      case VarKind::kConstant:
+        if (pn.constant_node != kNoNode && n1_.Contains(pn.constant_node) &&
+            n2_.Contains(pn.constant_node)) {
+          ns.dom1.push_back(pn.constant_node);
+          ns.dom2.push_back(pn.constant_node);
+        }
+        break;
+    }
+    if (ns.dom1.empty() || ns.dom2.empty()) return false;
+
+    const size_t rows = ns.dom1.size();
+    const size_t cols = ns.dom2.size();
+    ns.words = Words(cols);
+    if (pn.kind == VarKind::kValueVar || pn.kind == VarKind::kConstant) {
+      // Value equality is node identity: only the diagonal is compatible.
+      ns.rel.assign(rows * ns.words, 0);
+      for (size_t i = 0; i < rows; ++i) {
+        ns.rel[i * ns.words + (i >> 6)] |= uint64_t{1} << (i & 63);
+      }
+    } else {
+      ns.rel.assign(rows * ns.words, ~uint64_t{0});
+      const uint64_t tail =
+          (cols % 64) ? ((uint64_t{1} << (cols % 64)) - 1) : ~uint64_t{0};
+      for (size_t i = 0; i < rows; ++i) {
+        ns.rel[i * ns.words + ns.words - 1] = tail;
+      }
+    }
+  }
+  return true;
+}
+
+void PairingEngine::BuildAdjacency() {
+  for (size_t t = 0; t < cp_.triples.size(); ++t) {
+    const CompiledTriple& ct = cp_.triples[t];
+    TripleState& ts = st_.triples[t];
+    const NodeState& ss = st_.nodes[ct.subject];
+    const NodeState& os = st_.nodes[ct.object];
+
+    auto build_fwd = [&](const std::vector<NodeId>& from,
+                         const std::vector<NodeId>& to, Csr* fwd) {
+      fwd->Reset(from.size());
+      for (size_t i = 0; i < from.size(); ++i) {
+        ForEachOut(from[i], ct.pred, [&](NodeId dst) {
+          int j = IndexOf(to, dst);
+          if (j >= 0) fwd->targets.push_back(static_cast<uint32_t>(j));
+        });
+        fwd->offsets[i + 1] = static_cast<uint32_t>(fwd->targets.size());
+      }
+    };
+    build_fwd(ss.dom1, os.dom1, &ts.lfwd);
+    build_fwd(ss.dom2, os.dom2, &ts.rfwd);
+    Transpose(ts.lfwd, os.dom1.size(), &ts.lrev, &st_.cursor);
+    Transpose(ts.rfwd, os.dom2.size(), &ts.rrev, &st_.cursor);
+
+    auto build_mask = [](const Csr& csr, size_t words,
+                         std::vector<uint64_t>* mask) {
+      mask->assign((csr.offsets.size() - 1) * words, 0);
+      for (size_t j = 0; j + 1 < csr.offsets.size(); ++j) {
+        uint64_t* row = mask->data() + j * words;
+        for (uint32_t j2 : csr.Row(j)) {
+          row[j2 >> 6] |= uint64_t{1} << (j2 & 63);
+        }
+      }
+    };
+    build_mask(ts.rfwd, os.words, &ts.fwd_mask);
+    build_mask(ts.rrev, ss.words, &ts.rev_mask);
+  }
+}
+
+void PairingEngine::Propagate() {
+  while (!st_.worklist.empty()) {
+    Deletion del = st_.worklist.back();
+    st_.worklist.pop_back();
+    const int v = static_cast<int>(del.node);
+    for (int t : cp_.incident[v]) {
+      const CompiledTriple& ct = cp_.triples[t];
+      const TripleState& ts = st_.triples[t];
+      if (ct.subject == v) {
+        // The deleted subject pair was a potential witness for the object
+        // pairs in its adjacency image.
+        const int o = ct.object;
+        NodeState& os = st_.nodes[o];
+        for (uint32_t i2 : ts.lfwd.Row(del.i)) {
+          for (uint32_t j2 : ts.rfwd.Row(del.j)) {
+            if (TestBit(os, i2, j2) &&
+                !HasSupport(o, i2, j2, t, /*as_subject=*/false)) {
+              Delete(o, i2, j2);
+            }
+          }
+        }
+      }
+      if (ct.object == v) {
+        const int s = ct.subject;
+        NodeState& ss = st_.nodes[s];
+        for (uint32_t i2 : ts.lrev.Row(del.i)) {
+          for (uint32_t j2 : ts.rrev.Row(del.j)) {
+            if (TestBit(ss, i2, j2) &&
+                !HasSupport(s, i2, j2, t, /*as_subject=*/true)) {
+              Delete(s, i2, j2);
+            }
+          }
         }
       }
     }
   }
+}
 
-  result.paired = cand[cp.designated].count(Pack(e1, e2)) > 0;
-  if (result.paired) {
-    PairSet dedup;
-    std::vector<NodeId> r1, r2;
-    for (const PairSet& ps : cand) {
-      result.relation_size += ps.size();
-      for (uint64_t p : ps) {
-        r1.push_back(First(p));
-        r2.push_back(Second(p));
-        if (collect_pairs && dedup.insert(p).second) {
-          result.pairs.push_back(p);
+PairingResult PairingEngine::Run(NodeId e1, NodeId e2, bool collect_pairs) {
+  PairingResult result;
+  if (!BuildDomains()) return result;
+  BuildAdjacency();
+
+  // Initial pass: every locally compatible pair must be supported along
+  // all incident triples; failures seed the worklist. Set bits are
+  // enumerated word-wise so sparse (diagonal) relations cost O(set bits),
+  // not O(rows × cols).
+  for (size_t v = 0; v < cp_.nodes.size(); ++v) {
+    NodeState& ns = st_.nodes[v];
+    for (uint32_t i = 0; i < ns.dom1.size(); ++i) {
+      const uint64_t* row = RelRow(ns, i);
+      for (size_t w = 0; w < ns.words; ++w) {
+        uint64_t bits = row[w];
+        while (bits != 0) {
+          uint32_t j = static_cast<uint32_t>(w * 64 + __builtin_ctzll(bits));
+          bits &= bits - 1;
+          if (!Supported(static_cast<int>(v), i, j)) {
+            Delete(static_cast<uint32_t>(v), i, j);
+          }
         }
       }
     }
-    result.reduced1 = NodeSet(std::move(r1));
-    result.reduced2 = NodeSet(std::move(r2));
+  }
+  Propagate();
+
+  const NodeState& xs = st_.nodes[cp_.designated];
+  const int i1 = IndexOf(xs.dom1, e1);
+  const int j1 = IndexOf(xs.dom2, e2);
+  if (i1 < 0 || j1 < 0 || !TestBit(xs, i1, j1)) return result;
+  result.paired = true;
+
+  st_.collect1.clear();
+  st_.collect2.clear();
+  st_.pair_buf.clear();
+  for (size_t v = 0; v < cp_.nodes.size(); ++v) {
+    NodeState& ns = st_.nodes[v];
+    st_.colmask.assign(ns.words, 0);
+    for (size_t i = 0; i < ns.dom1.size(); ++i) {
+      const uint64_t* row = RelRow(ns, i);
+      bool any = false;
+      for (size_t w = 0; w < ns.words; ++w) {
+        if (row[w] == 0) continue;
+        any = true;
+        st_.colmask[w] |= row[w];
+        result.relation_size += __builtin_popcountll(row[w]);
+        if (collect_pairs) {
+          uint64_t bits = row[w];
+          while (bits != 0) {
+            size_t j = w * 64 + __builtin_ctzll(bits);
+            bits &= bits - 1;
+            st_.pair_buf.push_back(PackPair(ns.dom1[i], ns.dom2[j]));
+          }
+        }
+      }
+      if (any) st_.collect1.push_back(ns.dom1[i]);
+    }
+    for (size_t w = 0; w < ns.words; ++w) {
+      uint64_t bits = st_.colmask[w];
+      while (bits != 0) {
+        size_t j = w * 64 + __builtin_ctzll(bits);
+        bits &= bits - 1;
+        st_.collect2.push_back(ns.dom2[j]);
+      }
+    }
+  }
+  auto seal = [](std::vector<NodeId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return NodeSet::FromSorted(v);
+  };
+  result.reduced1 = seal(st_.collect1);
+  result.reduced2 = seal(st_.collect2);
+  if (collect_pairs) {
+    std::sort(st_.pair_buf.begin(), st_.pair_buf.end());
+    st_.pair_buf.erase(
+        std::unique(st_.pair_buf.begin(), st_.pair_buf.end()),
+        st_.pair_buf.end());
+    result.pairs = st_.pair_buf;
   }
   return result;
+}
+
+PairingResult ComputeMaxPairing(const Graph& g, const CompiledPattern& cp,
+                                NodeId e1, NodeId e2, const NodeSet& n1,
+                                const NodeSet& n2, bool collect_pairs,
+                                PairingScratch* scratch) {
+  if (!cp.matchable) return PairingResult{};
+  // The fallback scratch is built only when the caller brought none, so
+  // scratch-threaded hot paths never pay its allocation.
+  std::optional<PairingScratch> local;
+  PairingScratch& s = scratch != nullptr ? *scratch : local.emplace();
+  PairingEngine engine(g, cp, n1, n2, *s.state_);
+  return engine.Run(e1, e2, collect_pairs);
 }
 
 }  // namespace gkeys

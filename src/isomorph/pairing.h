@@ -2,6 +2,7 @@
 #define GKEYS_ISOMORPH_PAIRING_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
@@ -23,8 +24,8 @@ struct PairingResult {
   /// |P^Q|: size of the maximum pairing relation.
   size_t relation_size = 0;
   /// When requested, every surviving pair packed as (first << 32 | second),
-  /// deduplicated across pattern nodes. The product-graph builder (§5.1)
-  /// consumes these to form Vp.
+  /// deduplicated across pattern nodes, ascending. The product-graph
+  /// builder (§5.1) consumes these to form Vp.
   std::vector<uint64_t> pairs;
 };
 
@@ -33,15 +34,53 @@ inline uint64_t PackPair(NodeId a, NodeId b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+/// Reusable buffers for ComputeMaxPairing: per-pattern-node candidate
+/// domains, bitset relations, witness adjacency, and the deletion
+/// worklist. One candidate-pair call is dominated by small allocations
+/// without it, so the plan/engine layer keeps one scratch per worker
+/// thread and threads it through every call. Not thread-safe; each thread
+/// needs its own.
+class PairingScratch {
+ public:
+  PairingScratch();
+  ~PairingScratch();
+  PairingScratch(PairingScratch&&) noexcept;
+  PairingScratch& operator=(PairingScratch&&) noexcept;
+  PairingScratch(const PairingScratch&) = delete;
+  PairingScratch& operator=(const PairingScratch&) = delete;
+
+ private:
+  friend class PairingEngine;
+  friend PairingResult ComputeMaxPairing(const Graph& g,
+                                         const CompiledPattern& cp, NodeId e1,
+                                         NodeId e2, const NodeSet& n1,
+                                         const NodeSet& n2, bool collect_pairs,
+                                         PairingScratch* scratch);
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
 /// Computes the maximum pairing relation P^Q of Q at (e1, e2) over the
 /// d-neighbors (n1, n2) by fixpoint pruning, in O(|Q|·|Gd1|·|Gd2|) per
 /// Prop. 9: start from all locally type/value-compatible triples
 /// (s1, s2, s_Q) and repeatedly delete triples missing a required witness
 /// along some pattern edge, until stable.
+///
+/// Representation: per pattern node the locally compatible candidates of
+/// each side are indexed into dense ids and the pair relation is a
+/// row-major bitset over |left|×|right|; witness support is checked by
+/// word-scans over precomputed per-(node, triple) adjacency, and deletions
+/// propagate through a worklist that re-checks only the neighbor pairs
+/// whose witness the deleted pair could have been (instead of rescanning
+/// whole relations until quiescence).
+///
+/// `scratch` may be null (a private scratch is used); passing one reuses
+/// its buffers across calls.
 PairingResult ComputeMaxPairing(const Graph& g, const CompiledPattern& cp,
                                 NodeId e1, NodeId e2, const NodeSet& n1,
                                 const NodeSet& n2,
-                                bool collect_pairs = false);
+                                bool collect_pairs = false,
+                                PairingScratch* scratch = nullptr);
 
 }  // namespace gkeys
 

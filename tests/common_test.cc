@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "common/interner.h"
 #include "common/rng.h"
@@ -159,6 +160,33 @@ TEST(ThreadPool, WaitIsReusable) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotDeadlockWait) {
+  // Regression: the in-flight count used to be decremented only after the
+  // task returned, so a throwing task left Wait() blocked forever.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the failure did not cancel other tasks
+  // The error was drained: the pool stays usable and a clean batch does
+  // not rethrow a stale exception.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsSurfaces) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // subsequent Wait() is clean
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   for (auto& h : hits) h.store(0);
@@ -176,6 +204,32 @@ TEST(ParallelShards, ShardsPartitionTheRange) {
     for (size_t i = b; i < e; ++i) owner[i] = shard;
   });
   for (int o : owner) EXPECT_GE(o, 0);
+}
+
+TEST(ParallelShards, ThrowingShardSurfacesOnCaller) {
+  // An exception escaping a shard's std::thread would terminate the
+  // process; it must be captured and rethrown on the calling thread,
+  // after every other shard ran to completion.
+  std::atomic<int> completed{0};
+  EXPECT_THROW(ParallelShards(4, 100,
+                              [&](int shard, size_t, size_t) {
+                                if (shard == 1) {
+                                  throw std::runtime_error("shard failed");
+                                }
+                                completed.fetch_add(1);
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ParallelFor, ThrowingIterationSurfacesOnCaller) {
+  EXPECT_THROW(ParallelFor(4, 100,
+                           [](size_t i) {
+                             if (i == 37) {
+                               throw std::runtime_error("iteration failed");
+                             }
+                           }),
+               std::runtime_error);
 }
 
 }  // namespace

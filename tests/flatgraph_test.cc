@@ -128,6 +128,39 @@ TEST(DNeighborProperty, MatchesReferenceBfsOnRandomGraphs) {
   }
 }
 
+TEST(DNeighborScratch, ShrinksAfterBigGraphThenSmallGraph) {
+  // Regression: the thread-local visited scratch grew to the largest
+  // graph ever seen on the thread and was never released. A much smaller
+  // graph must shrink it back (and results must stay correct throughout).
+  constexpr size_t kBigNodes = 300000;
+  Graph big;
+  NodeId first = big.AddEntity("t");
+  NodeId prev = first;
+  for (size_t i = 1; i < kBigNodes; ++i) {
+    NodeId n = big.AddEntity("t");
+    ASSERT_TRUE(big.AddTriple(prev, "p", n).ok());
+    prev = n;
+  }
+  big.Finalize();
+  NodeSet chain = DNeighbor(big, first, 3);
+  EXPECT_EQ(chain.size(), 4u);  // a chain: center + 3 hops
+  const size_t grown = internal::DNeighborScratchBytes();
+  EXPECT_GE(grown, kBigNodes);
+
+  Graph small;
+  NodeId a = small.AddEntity("t");
+  NodeId b = small.AddEntity("t");
+  ASSERT_TRUE(small.AddTriple(a, "p", b).ok());
+  small.Finalize();
+  NodeSet got = DNeighbor(small, a, 1);
+  EXPECT_EQ(got.ToVector(), (std::vector<NodeId>{a, b}));
+  EXPECT_LT(internal::DNeighborScratchBytes(), grown / 4);
+
+  // Growing again afterwards still works (the zero-fill invariant held).
+  NodeSet again = DNeighbor(big, first, 2);
+  EXPECT_EQ(again.size(), 3u);
+}
+
 // ---- CSR storage ------------------------------------------------------------
 
 TEST(CsrGraph, FinalizePreservesAdjacencyAndDeduplicates) {

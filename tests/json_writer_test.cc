@@ -1,0 +1,67 @@
+#include "common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gkeys {
+namespace {
+
+TEST(JsonWriter, PlainStringsPassThrough) {
+  EXPECT_EQ(JsonEscaped("VaryD/Synthetic/EMOptMR/d:3"),
+            "VaryD/Synthetic/EMOptMR/d:3");
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  // Regression: names used to be fprintf'd verbatim, so a quote or
+  // backslash in a benchmark name produced invalid JSON.
+  EXPECT_EQ(JsonEscaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscaped("a\\b"), "a\\\\b");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscaped("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscaped(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonEscaped("\b\f\r"), "\\b\\f\\r");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  // Regression: %.9g printed bare nan / inf tokens, which JSON rejects.
+  std::string out;
+  AppendJsonNumber(std::numeric_limits<double>::quiet_NaN(), &out);
+  EXPECT_EQ(out, "null");
+  out.clear();
+  AppendJsonNumber(std::numeric_limits<double>::infinity(), &out);
+  EXPECT_EQ(out, "null");
+  out.clear();
+  AppendJsonNumber(-std::numeric_limits<double>::infinity(), &out);
+  EXPECT_EQ(out, "null");
+  out.clear();
+  AppendJsonNumber(2.5, &out);
+  EXPECT_EQ(out, "2.5");
+}
+
+TEST(JsonWriter, RendersRowsAsJsonArray) {
+  JsonRows rows;
+  rows.emplace_back(
+      "bench \"quoted\"",
+      std::vector<std::pair<std::string, double>>{
+          {"prep_s", 0.25},
+          {"ratio", std::numeric_limits<double>::quiet_NaN()}});
+  rows.emplace_back("plain",
+                    std::vector<std::pair<std::string, double>>{{"n", 3.0}});
+  EXPECT_EQ(RenderJsonRows(rows),
+            "[\n"
+            "  {\"name\": \"bench \\\"quoted\\\"\", \"prep_s\": 0.25, "
+            "\"ratio\": null},\n"
+            "  {\"name\": \"plain\", \"n\": 3}\n"
+            "]\n");
+}
+
+TEST(JsonWriter, EmptyRowsAreAValidEmptyArray) {
+  EXPECT_EQ(RenderJsonRows({}), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "core/entity_matcher.h"
+#include "gen/synthetic.h"
 #include "isomorph/eval_search.h"
+#include "isomorph/pairing_reference.h"
 #include "pattern/parser.h"
 #include "test_util.h"
 
@@ -161,6 +166,112 @@ TEST(Pairing, UnmatchablePatternNeverPairs) {
   NodeSet n1 = DNeighbor(m.g, m.alb1, 1);
   NodeSet n2 = DNeighbor(m.g, m.alb2, 1);
   EXPECT_FALSE(ComputeMaxPairing(m.g, ghost, m.alb1, m.alb2, n1, n2).paired);
+}
+
+// ---- Oracle: the pre-worklist hash-table fixpoint ---------------------------
+//
+// ReferenceMaxPairing (isomorph/pairing_reference.h) is the original
+// implementation, kept verbatim. The dense worklist engine must agree
+// with it on every observable: paired, relation_size, reduced1/reduced2,
+// collected pairs.
+
+/// Compares the dense worklist engine against the oracle on every
+/// candidate pair × key of a dataset, on all observables.
+void CheckAgainstOracle(const SyntheticDataset& ds, const EmContext& ctx) {
+  PairingScratch scratch;
+  size_t compared = 0;
+  for (const Candidate& c : ctx.candidates()) {
+    for (int ki : *c.keys) {
+      const CompiledPattern& cp = ctx.compiled_keys()[ki].cp;
+      PairingResult got =
+          ComputeMaxPairing(ds.graph, cp, c.e1, c.e2, *c.nbr1, *c.nbr2,
+                            /*collect_pairs=*/true, &scratch);
+      PairingResult want =
+          ReferenceMaxPairing(ds.graph, cp, c.e1, c.e2, *c.nbr1, *c.nbr2,
+                              /*collect_pairs=*/true);
+      ASSERT_EQ(got.paired, want.paired)
+          << "pair (" << c.e1 << "," << c.e2 << ") key " << ki;
+      ASSERT_EQ(got.relation_size, want.relation_size)
+          << "pair (" << c.e1 << "," << c.e2 << ") key " << ki;
+      ASSERT_EQ(got.reduced1, want.reduced1)
+          << "pair (" << c.e1 << "," << c.e2 << ") key " << ki;
+      ASSERT_EQ(got.reduced2, want.reduced2)
+          << "pair (" << c.e1 << "," << c.e2 << ") key " << ki;
+      std::sort(want.pairs.begin(), want.pairs.end());  // oracle: hash order
+      ASSERT_EQ(got.pairs, want.pairs)
+          << "pair (" << c.e1 << "," << c.e2 << ") key " << ki;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+TEST(PairingOracle, DenseWorklistMatchesReferenceOnRandomWorkloads) {
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    for (int d : {1, 2, 3}) {
+      SyntheticConfig cfg;
+      cfg.seed = seed;
+      cfg.num_groups = 2;
+      cfg.chain_length = 2;
+      cfg.radius = d;
+      cfg.entities_per_type = 10;
+      SyntheticDataset ds = GenerateSynthetic(cfg);
+      EmOptions opts;
+      opts.use_blocking = false;  // keep every same-type pair comparable
+      EmContext ctx(ds.graph, ds.keys, opts);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " d=" + std::to_string(d));
+      CheckAgainstOracle(ds, ctx);
+    }
+  }
+}
+
+TEST(PairingOracle, DenseWorklistMatchesReferenceOnPaperGraphs) {
+  auto c = MakeG2();
+  CompiledPattern q4 = CompileDsl(c.g, R"(
+    key Q4 for company {
+      x -[name_of]-> n*
+      _p:company -[name_of]-> n*
+      _p -[parent_of]-> x
+      y:company -[parent_of]-> x
+    })");
+  PairingScratch scratch;
+  for (int d : {1, 2, 3}) {
+    NodeSet n4 = DNeighbor(c.g, c.com4, d);
+    NodeSet n5 = DNeighbor(c.g, c.com5, d);
+    PairingResult got = ComputeMaxPairing(c.g, q4, c.com4, c.com5, n4, n5,
+                                          /*collect_pairs=*/true, &scratch);
+    PairingResult want = ReferenceMaxPairing(c.g, q4, c.com4, c.com5, n4, n5,
+                                             /*collect_pairs=*/true);
+    EXPECT_EQ(got.paired, want.paired) << "d=" << d;
+    EXPECT_EQ(got.relation_size, want.relation_size) << "d=" << d;
+    EXPECT_EQ(got.reduced1, want.reduced1) << "d=" << d;
+    EXPECT_EQ(got.reduced2, want.reduced2) << "d=" << d;
+    std::sort(want.pairs.begin(), want.pairs.end());
+    EXPECT_EQ(got.pairs, want.pairs) << "d=" << d;
+  }
+}
+
+TEST(PairingOracle, AllSixAlgorithmsByteIdenticalPairs) {
+  // End-to-end guard: with the dense fixpoint underneath, every algorithm
+  // still reproduces exactly the oracle chase's pair set.
+  for (uint64_t seed : {5u, 6u}) {
+    SyntheticConfig cfg;
+    cfg.seed = seed;
+    cfg.num_groups = 2;
+    cfg.chain_length = 2;
+    cfg.radius = 2;
+    cfg.entities_per_type = 12;
+    SyntheticDataset ds = GenerateSynthetic(cfg);
+    std::vector<std::pair<NodeId, NodeId>> want =
+        MatchEntities(ds.graph, ds.keys, Algorithm::kNaiveChase, 1).pairs;
+    for (Algorithm a :
+         {Algorithm::kEmMr, Algorithm::kEmVf2Mr, Algorithm::kEmOptMr,
+          Algorithm::kEmVc, Algorithm::kEmOptVc}) {
+      EXPECT_EQ(MatchEntities(ds.graph, ds.keys, a, 4).pairs, want)
+          << AlgorithmName(a) << " seed=" << seed;
+    }
+  }
 }
 
 }  // namespace
