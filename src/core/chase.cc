@@ -9,7 +9,7 @@ namespace gkeys {
 
 StatusOr<MatchResult> RunChase(const EmContext& ctx,
                                const ChaseOptions& options, bool use_vf2,
-                               MatchSink* sink) {
+                               MatchSink* sink, const RematchSeed* seed) {
   MatchResult result;
   result.stats.candidates_initial = ctx.candidates_initial();
   result.stats.candidates_blocked = ctx.candidates_blocked();
@@ -17,28 +17,58 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
   result.stats.neighbor_nodes = ctx.neighbor_nodes();
   result.stats.neighbor_nodes_reduced = ctx.neighbor_nodes_reduced();
 
-  std::vector<uint32_t> order(ctx.candidates().size());
-  std::iota(order.begin(), order.end(), 0);
-  if (options.shuffle_seed != 0) {
-    Rng rng(options.shuffle_seed);
-    for (size_t i = order.size(); i > 1; --i) {
-      std::swap(order[i - 1], order[rng.Below(i)]);
+  const size_t num_candidates = ctx.candidates().size();
+  std::vector<uint32_t> order;
+  if (seed == nullptr) {
+    order.resize(num_candidates);
+    std::iota(order.begin(), order.end(), 0);
+    if (options.shuffle_seed != 0) {
+      Rng rng(options.shuffle_seed);
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.Below(i)]);
+      }
     }
+  } else {
+    order.assign(seed->active.begin(), seed->active.end());
   }
 
   Timer run_timer;
   EquivalenceRelation eq(ctx.graph().NumNodes());
   EqView view(&eq);
   internal::PairStreamer streamer(sink, ctx.graph().NumNodes());
+
+  // Seeded rematch: start from the previous fixpoint. Its consequences
+  // were all drawn in the previous run, so candidates and ghosts already
+  // equal under the seed must NOT wake their dependents again — only new
+  // merges cascade.
+  std::vector<uint8_t> in_pipeline(num_candidates, seed == nullptr ? 1 : 0);
+  std::vector<uint8_t> tc_done(num_candidates, 0);
+  std::vector<uint8_t> ghost_done(ctx.ghosts().size(), 0);
+  if (seed != nullptr) {
+    for (const auto& [a, b] : seed->prev_pairs) eq.Union(a, b);
+    streamer.SeedClasses(seed->prev_pairs);
+    for (uint32_t idx : seed->active) in_pipeline[idx] = 1;
+    for (uint32_t i = 0; i < num_candidates; ++i) {
+      const Candidate& c = ctx.candidates()[i];
+      if (eq.Same(c.e1, c.e2)) tc_done[i] = 1;
+    }
+    for (uint32_t gi = 0; gi < ctx.ghosts().size(); ++gi) {
+      const auto& ghost = ctx.ghosts()[gi];
+      if (eq.Same(ghost.e1, ghost.e2)) ghost_done[gi] = 1;
+    }
+  }
+
   std::vector<std::pair<NodeId, NodeId>> merges;  // this round's Unions
   std::vector<uint32_t> active = order;
   std::vector<uint32_t> next;
+  std::vector<uint32_t> merged_this_round;
   bool changed = true;
   while (changed && !active.empty()) {
     changed = false;
     ++result.stats.rounds;
     next.clear();
     merges.clear();
+    merged_this_round.clear();
     for (uint32_t idx : active) {
       const Candidate& c = ctx.candidates()[idx];
       if (eq.Same(c.e1, c.e2)) continue;  // already identified (or TC)
@@ -47,9 +77,38 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
                          options.unrestricted_neighbors, use_vf2)) {
         eq.Union(c.e1, c.e2);
         merges.emplace_back(c.e1, c.e2);
+        merged_this_round.push_back(idx);
         changed = true;
       } else {
         next.push_back(idx);
+      }
+    }
+    if (seed != nullptr && changed) {
+      // Incremental wake-ups: clean candidates enter the pipeline only
+      // when a merge can change their outcome — a dependency fired, or a
+      // watched pair (candidate or ghost) became equal transitively.
+      auto wake = [&](uint32_t dep) {
+        if (in_pipeline[dep] != 0) return;
+        in_pipeline[dep] = 1;
+        next.push_back(dep);
+      };
+      for (uint32_t idx : merged_this_round) {
+        tc_done[idx] = 1;
+        for (uint32_t dep : ctx.dependents()[idx]) wake(dep);
+      }
+      for (uint32_t i = 0; i < num_candidates; ++i) {
+        if (tc_done[i] != 0) continue;
+        const Candidate& c = ctx.candidates()[i];
+        if (!eq.Same(c.e1, c.e2)) continue;
+        tc_done[i] = 1;
+        for (uint32_t dep : ctx.dependents()[i]) wake(dep);
+      }
+      for (uint32_t gi = 0; gi < ctx.ghosts().size(); ++gi) {
+        if (ghost_done[gi] != 0) continue;
+        const auto& ghost = ctx.ghosts()[gi];
+        if (!eq.Same(ghost.e1, ghost.e2)) continue;
+        ghost_done[gi] = 1;
+        for (uint32_t dep : ghost.dependents) wake(dep);
       }
     }
     active.swap(next);

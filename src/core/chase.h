@@ -36,9 +36,15 @@ MatchResult Chase(const Graph& g, const KeySet& keys,
 /// execution cannot diverge. `use_vf2` overrides the context's compile
 /// options (plan runs choose the search strategy at run time). With a
 /// sink, streams pairs/progress per round and honors cancellation.
+///
+/// With a `seed` (Matcher::Rematch), Eq starts from the seed's previous
+/// pairs, only the seed's active candidates are checked initially, and
+/// new merges wake dependents (and ghost watchers) instead of the
+/// exhaustive re-scan — the incremental counterpart of the same fixpoint.
 StatusOr<MatchResult> RunChase(const EmContext& ctx,
                                const ChaseOptions& options, bool use_vf2,
-                               MatchSink* sink);
+                               MatchSink* sink,
+                               const RematchSeed* seed = nullptr);
 
 /// Decision procedure: (G, Σ) |= (e1, e2)? Runs the chase and looks the
 /// pair up (the problem shown NP-complete in Theorem 2 — exponential only

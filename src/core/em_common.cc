@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/thread_pool.h"
+#include "common/timer.h"
 
 #include "isomorph/pairing.h"
 #include "isomorph/vf2.h"
@@ -55,10 +56,13 @@ EmOptions EmOptions::For(Algorithm a, int p) {
   return o;
 }
 
-EmContext::EmContext(const Graph& g, const KeySet& keys,
-                     const EmOptions& opts)
-    : g_(&g), keys_(&keys), opts_(opts) {
+void EmContext::CompileKeys() {
+  const Graph& g = *g_;
+  const KeySet& keys = *keys_;
+  compiled_.clear();
   compiled_.reserve(keys.count());
+  keys_by_type_.clear();
+  radius_by_type_.clear();
   for (size_t i = 0; i < keys.count(); ++i) {
     const Key& k = keys.key(i);
     CompiledKey ck;
@@ -73,8 +77,14 @@ EmContext::EmContext(const Graph& g, const KeySet& keys,
     }
     compiled_.push_back(std::move(ck));
   }
+}
+
+EmContext::EmContext(const Graph& g, const KeySet& keys,
+                     const EmOptions& opts)
+    : g_(&g), keys_(&keys), opts_(opts) {
+  CompileKeys();
   BuildCandidates();
-  BuildDependencyIndex();
+  BuildDependencyIndex(nullptr, nullptr);
 }
 
 const std::vector<int>& EmContext::KeysForType(Symbol t) const {
@@ -83,32 +93,11 @@ const std::vector<int>& EmContext::KeysForType(Symbol t) const {
   return it == keys_by_type_.end() ? kEmpty : it->second;
 }
 
-namespace {
-
-/// One hop of a pattern path from the designated variable toward a value
-/// terminal: follow `pred` forward (Out) or backward (In) into pattern
-/// node `to_node`.
-struct SigStep {
-  Symbol pred;
-  bool forward;
-  int to_node;
-};
-
-/// A signature source of one key: a pattern path from x to a value
-/// variable (constant == kNoNode) or to a constant node. Any match of
-/// the key maps the terminal to ONE value node reached from both
-/// entities along this exact path, so "the entities share a reachable
-/// terminal value" is a necessary condition for identification — and it
-/// is Eq-independent (reachability never consults entity identity).
-struct SigSource {
-  std::vector<SigStep> path;
-  NodeId constant = kNoNode;
-};
-
 /// All signature sources of `cp`: BFS over the pattern graph from the
 /// designated variable; every value variable / graph-resolved constant
 /// first reached contributes its (shortest) path.
-std::vector<SigSource> FindSigSources(const CompiledPattern& cp) {
+std::vector<EmContext::SigSource> EmContext::FindSigSources(
+    const CompiledPattern& cp) {
   const int n = static_cast<int>(cp.nodes.size());
   std::vector<int> parent(n, -1);
   std::vector<SigStep> parent_step(n);
@@ -148,99 +137,70 @@ std::vector<SigSource> FindSigSources(const CompiledPattern& cp) {
   return sources;
 }
 
-}  // namespace
-
-bool EmContext::EnumerateBlockedPairs(
-    const std::vector<int>& key_ids, std::span<const NodeId> entities,
-    std::vector<std::pair<NodeId, NodeId>>* out) const {
+std::vector<NodeId> EmContext::ReachableValues(
+    NodeId e, const SigSource& src, const CompiledPattern& cp) const {
   const Graph& g = *g_;
+  std::vector<NodeId> frontier{e}, next;
+  for (const SigStep& step : src.path) {
+    next.clear();
+    const CompiledNode& pn = cp.nodes[step.to_node];
+    for (NodeId n : frontier) {
+      for (const Edge& edge : step.forward ? g.Out(n) : g.In(n)) {
+        if (edge.pred != step.pred) continue;
+        NodeId dst = edge.dst;
+        switch (pn.kind) {
+          case VarKind::kEntityVar:
+          case VarKind::kWildcard:
+            if (!g.IsEntity(dst) || g.entity_type(dst) != pn.type) {
+              continue;
+            }
+            break;
+          case VarKind::kValueVar:
+            if (!g.IsValue(dst)) continue;
+            break;
+          case VarKind::kConstant:
+            if (dst != pn.constant_node) continue;
+            break;
+          case VarKind::kDesignated:
+            break;  // unreachable: BFS paths never revisit x
+        }
+        next.push_back(dst);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier.swap(next);
+  }
+  return frontier;
+}
 
+std::shared_ptr<const EmContext::SigIndex> EmContext::BuildSigIndex(
+    const std::vector<int>& key_ids, std::span<const NodeId> entities) const {
+  auto idx = std::make_shared<SigIndex>();
   // Signature sources per matchable key. A key that reaches no value
   // variable or constant from x pins nothing Eq-independent and makes
   // the whole type unblockable (full enumeration).
-  std::vector<std::vector<SigSource>> per_key;
+  auto pair_count = [](size_t n) { return n * (n - 1) / 2; };
+  std::unordered_map<NodeId, size_t> counts;
   for (int ki : key_ids) {
     const CompiledPattern& cp = compiled_[ki].cp;
     if (!cp.matchable) continue;  // can never fire: imposes nothing
     std::vector<SigSource> sources = FindSigSources(cp);
-    if (sources.empty()) return false;  // purely variable-only key
-    per_key.push_back(std::move(sources));
-  }
-  // Every key is unmatchable: no pair of this type is identifiable.
-  if (per_key.empty()) return true;
-
-  // The terminal value nodes entity `e` can reach along `src.path`
-  // (type-checked intermediates, direction-aware), ascending.
-  std::vector<NodeId> frontier, next;
-  auto reachable_values = [&](NodeId e, const SigSource& src,
-                              const CompiledPattern& cp) {
-    frontier.assign(1, e);
-    for (const SigStep& step : src.path) {
-      next.clear();
-      const CompiledNode& pn = cp.nodes[step.to_node];
-      for (NodeId n : frontier) {
-        for (const Edge& edge : step.forward ? g.Out(n) : g.In(n)) {
-          if (edge.pred != step.pred) continue;
-          NodeId dst = edge.dst;
-          switch (pn.kind) {
-            case VarKind::kEntityVar:
-            case VarKind::kWildcard:
-              if (!g.IsEntity(dst) || g.entity_type(dst) != pn.type) {
-                continue;
-              }
-              break;
-            case VarKind::kValueVar:
-              if (!g.IsValue(dst)) continue;
-              break;
-            case VarKind::kConstant:
-              if (dst != pn.constant_node) continue;
-              break;
-            case VarKind::kDesignated:
-              break;  // unreachable: BFS paths never revisit x
-          }
-          next.push_back(dst);
-        }
-      }
-      std::sort(next.begin(), next.end());
-      next.erase(std::unique(next.begin(), next.end()), next.end());
-      frontier.swap(next);
+    if (sources.empty()) {
+      idx->blockable = false;
+      idx->keys.clear();
+      return idx;  // purely variable-only key: full enumeration
     }
-    return frontier;  // copy out
-  };
-
-  // Per key, the most selective source (fewest pairs to enumerate) is a
-  // sufficient necessary condition on its own; unioning one source per
-  // key over all keys covers every directly identifiable pair.
-  auto pair_count = [](size_t n) { return n * (n - 1) / 2; };
-  std::unordered_set<uint64_t> seen;
-  auto emit_bucket = [&](const std::vector<NodeId>& members) {
-    // EntitiesOfType yields ascending NodeIds, preserved per bucket, so
-    // members[i] < members[j] for i < j.
-    for (size_t i = 0; i < members.size(); ++i) {
-      for (size_t j = i + 1; j < members.size(); ++j) {
-        uint64_t packed = PackPair(members[i], members[j]);
-        if (seen.insert(packed).second) {
-          out->emplace_back(members[i], members[j]);
-        }
-      }
-    }
-  };
-  size_t key_index = 0;
-  std::unordered_map<NodeId, size_t> counts;
-  for (int ki : key_ids) {
-    const CompiledPattern& cp = compiled_[ki].cp;
-    if (!cp.matchable) continue;
-    const std::vector<SigSource>& sources = per_key[key_index++];
-    // Pass 1 (only when there is a choice): pick the most selective
-    // source from per-value counts alone (a constant terminal needs no
-    // extra filter — reachable_values already pins the last hop to the
-    // constant node).
+    // Pick the most selective source (fewest pairs) per key; unioning one
+    // source per key over all keys covers every directly identifiable
+    // pair. (A constant terminal needs no extra filter — ReachableValues
+    // already pins the last hop to the constant node.)
     size_t best = 0;
     size_t best_pairs = SIZE_MAX;
     for (size_t s = 0; sources.size() > 1 && s < sources.size(); ++s) {
       counts.clear();
       for (NodeId e : entities) {
-        for (NodeId v : reachable_values(e, sources[s], cp)) ++counts[v];
+        for (NodeId v : ReachableValues(e, sources[s], cp)) ++counts[v];
       }
       size_t pairs = 0;
       for (const auto& [value, count] : counts) {
@@ -251,18 +211,58 @@ bool EmContext::EnumerateBlockedPairs(
         best = s;
       }
     }
-    // Pass 2: materialize only the winning source's buckets.
-    std::unordered_map<NodeId, std::vector<NodeId>> buckets;
+    SigPerKey pk;
+    pk.key = ki;
+    pk.source = std::move(sources[best]);
+    auto buckets = std::make_shared<SigMap>();
+    auto entity_values = std::make_shared<SigMap>();
     for (NodeId e : entities) {
-      for (NodeId v : reachable_values(e, sources[best], cp)) {
-        buckets[v].push_back(e);
-      }
+      std::vector<NodeId> vals = ReachableValues(e, pk.source, cp);
+      if (vals.empty()) continue;
+      // EntitiesOfType yields ascending NodeIds, so buckets stay sorted.
+      for (NodeId v : vals) (*buckets)[v].push_back(e);
+      entity_values->emplace(e, std::move(vals));
     }
-    for (const auto& [value, members] : buckets) {
-      emit_bucket(members);
-    }
+    pk.buckets = std::move(buckets);
+    pk.entity_values = std::move(entity_values);
+    idx->keys.push_back(std::move(pk));
   }
-  return true;
+  // All keys unmatchable: blockable with no buckets — zero pairs, which
+  // is exact (no pair of the type is identifiable).
+  idx->blockable = true;
+  return idx;
+}
+
+bool EmContext::SigIndexStillValid(const SigIndex& prev_idx,
+                                   const std::vector<int>& key_ids) const {
+  if (!prev_idx.blockable) {
+    // Unblockable can only flip to blockable when a constant newly
+    // resolves; re-checking is cheap and a flip forces a rebuild.
+    for (int ki : key_ids) {
+      const CompiledPattern& cp = compiled_[ki].cp;
+      if (!cp.matchable) continue;
+      if (FindSigSources(cp).empty()) return true;  // still unblockable
+    }
+    return false;
+  }
+  // The stored matchable key list must be unchanged, and every stored
+  // choice must still be a source of its key (constants can newly
+  // resolve, predicates can newly exist — either changes the sources).
+  size_t at = 0;
+  for (int ki : key_ids) {
+    const CompiledPattern& cp = compiled_[ki].cp;
+    if (!cp.matchable) continue;
+    if (at >= prev_idx.keys.size() || prev_idx.keys[at].key != ki) {
+      return false;
+    }
+    std::vector<SigSource> sources = FindSigSources(cp);
+    if (std::find(sources.begin(), sources.end(),
+                  prev_idx.keys[at].source) == sources.end()) {
+      return false;
+    }
+    ++at;
+  }
+  return at == prev_idx.keys.size();
 }
 
 void EmContext::BuildCandidates() {
@@ -281,10 +281,12 @@ void EmContext::BuildCandidates() {
   dneighbor_slot_.assign(g.NumNodes(), kNoSlot);
   dneighbor_sets_.resize(todo.size());
   ParallelFor(p, todo.size(), [&](size_t i) {
-    dneighbor_sets_[i] = DNeighbor(g, todo[i].first, todo[i].second);
+    dneighbor_sets_[i] =
+        std::make_shared<const NodeSet>(DNeighbor(g, todo[i].first,
+                                                  todo[i].second));
   });
   for (size_t i = 0; i < todo.size(); ++i) {
-    neighbor_nodes_ += dneighbor_sets_[i].size();
+    neighbor_nodes_ += dneighbor_sets_[i]->size();
     dneighbor_slot_[todo[i].first] = static_cast<uint32_t>(i);
   }
 
@@ -310,9 +312,26 @@ void EmContext::BuildCandidates() {
       }
     }
     const size_t all_pairs = entities.size() * (entities.size() - 1) / 2;
-    block_scratch.clear();
-    if (opts_.use_blocking &&
-        EnumerateBlockedPairs(key_ids, entities, &block_scratch)) {
+    std::shared_ptr<const SigIndex> idx;
+    if (opts_.use_blocking) {
+      idx = BuildSigIndex(key_ids, entities);
+      sig_index_[type] = idx;
+    }
+    if (idx != nullptr && idx->blockable) {
+      block_scratch.clear();
+      std::unordered_set<uint64_t> seen;
+      for (const SigPerKey& pk : idx->keys) {
+        for (const auto& [value, members] : *pk.buckets) {
+          // Buckets are ascending, so members[i] < members[j] for i < j.
+          for (size_t i = 0; i < members.size(); ++i) {
+            for (size_t j = i + 1; j < members.size(); ++j) {
+              if (seen.insert(PackPair(members[i], members[j])).second) {
+                block_scratch.emplace_back(members[i], members[j]);
+              }
+            }
+          }
+        }
+      }
       candidates_blocked_ += all_pairs - block_scratch.size();
       for (const auto& [a, b] : block_scratch) {
         raw.push_back(RawPair{a, b, &key_ids, recursive, value_based});
@@ -365,9 +384,9 @@ void EmContext::BuildCandidates() {
     });
   }
 
-  // Assembly (sequential: the pools need stable addresses). Pairs the
-  // pairing filter rejects just disappear from L — ghost tracking
-  // rediscovers the ones that matter from the d-neighbor overlaps.
+  // Assembly (sequential). Pairs the pairing filter rejects just
+  // disappear from L — ghost tracking rediscovers the ones that matter
+  // from the d-neighbor overlaps.
   candidates_.reserve(raw.size());
   for (size_t i = 0; i < raw.size(); ++i) {
     const RawPair& rp = raw[i];
@@ -381,10 +400,12 @@ void EmContext::BuildCandidates() {
       Reduction& red = reductions[i];
       if (!red.keep) continue;
       neighbor_nodes_reduced_ += red.r1.size() + red.r2.size();
-      reduced_pool_.push_back(std::move(red.r1));
-      c.nbr1 = &reduced_pool_.back();
-      reduced_pool_.push_back(std::move(red.r2));
-      c.nbr2 = &reduced_pool_.back();
+      reduced_pool_.push_back(
+          std::make_shared<const NodeSet>(std::move(red.r1)));
+      c.nbr1 = reduced_pool_.back().get();
+      reduced_pool_.push_back(
+          std::make_shared<const NodeSet>(std::move(red.r2)));
+      c.nbr2 = reduced_pool_.back().get();
     } else {
       c.nbr1 = &DNbr(rp.e1);
       c.nbr2 = &DNbr(rp.e2);
@@ -393,31 +414,28 @@ void EmContext::BuildCandidates() {
   }
 }
 
-void EmContext::BuildDependencyIndex() {
+void EmContext::BuildDependencyIndex(const EmContext* prev,
+                                     const std::vector<int64_t>* reuse) {
   const Graph& g = *g_;
-  const int p = std::max(1, opts_.processors);
+  // Inline below the thread-spawn break-even point (identical semantics;
+  // matters for sub-millisecond plan patches).
+  const int p =
+      candidates_.size() < 256 ? 1 : std::max(1, opts_.processors);
   dependents_.assign(candidates_.size(), {});
-  const uint32_t num_candidates = static_cast<uint32_t>(candidates_.size());
-  // entity -> candidate indices it participates in, plus a membership
-  // test for "is (a, b) in L". Same-type pairs NOT in L — excluded by
-  // blocking or pairing — cannot be identified directly but can become
-  // equal transitively; they are discovered lazily below instead of being
-  // materialized (there are O(n²) of them).
-  std::unordered_map<NodeId, std::vector<uint32_t>> by_entity;
-  std::unordered_set<uint64_t> in_l;
-  in_l.reserve(candidates_.size() * 2);
-  for (uint32_t i = 0; i < num_candidates; ++i) {
-    by_entity[candidates_[i].e1].push_back(i);
-    by_entity[candidates_[i].e2].push_back(i);
-    in_l.insert(PackPair(candidates_[i].e1, candidates_[i].e2));
-  }
-  // Parallel phase: for each candidate j, the pairs it DEPENDS ON — pairs
-  // lying inside j's neighbors (one entity per side, either orientation)
-  // whose type matches an entity variable of a recursive key on j (§4.2).
-  // Candidate pairs land in depends_on; excluded pairs in ghost_depends.
-  std::vector<std::vector<uint32_t>> depends_on(candidates_.size());
-  std::vector<std::vector<uint64_t>> ghost_depends(candidates_.size());
+  depends_on_pairs_.assign(candidates_.size(), {});
+  // Scan phase: for each candidate j with a recursive key, every
+  // same-type pair of keyed entities lying inside j's neighbors (one per
+  // side, either orientation) whose type matches an entity variable of a
+  // recursive key on j (§4.2) — whether or not the pair is in L. Only
+  // keyed types matter: every Eq merge starts from a keyed candidate, so
+  // pairs of unkeyed types can never become equal. A patched context
+  // copies the scan of every carried-over candidate (its balls, keys, and
+  // the keyed-type set are all unchanged) instead of re-walking it.
   ParallelFor(p, candidates_.size(), [&](size_t j) {
+    if (prev != nullptr && reuse != nullptr && (*reuse)[j] >= 0) {
+      depends_on_pairs_[j] = prev->depends_on_pairs_[(*reuse)[j]];
+      return;
+    }
     const Candidate& cj = candidates_[j];
     if (!cj.has_recursive_key) return;
     std::vector<Symbol> dep_types;
@@ -431,10 +449,8 @@ void EmContext::BuildDependencyIndex() {
     std::sort(dep_types.begin(), dep_types.end());
     dep_types.erase(std::unique(dep_types.begin(), dep_types.end()),
                     dep_types.end());
+    std::vector<uint64_t>& out = depends_on_pairs_[j];
     auto scan_side = [&](const NodeSet& near, const NodeSet& far) {
-      // Far-side entities per dependency type, collected once. Only keyed
-      // types matter: every Eq merge starts from a same-type candidate of
-      // a keyed type, so pairs of unkeyed types can never become equal.
       std::unordered_map<Symbol, std::vector<NodeId>> far_by_type;
       for (NodeId m : far) {
         if (!g.IsEntity(m)) continue;
@@ -451,48 +467,41 @@ void EmContext::BuildDependencyIndex() {
         if (!std::binary_search(dep_types.begin(), dep_types.end(), t)) {
           continue;
         }
-        auto it = by_entity.find(n);
-        if (it != by_entity.end()) {
-          for (uint32_t i : it->second) {
-            if (i == static_cast<uint32_t>(j)) continue;
-            const Candidate& ci = candidates_[i];
-            NodeId other = ci.e1 == n ? ci.e2 : ci.e1;
-            if (far.Contains(other)) depends_on[j].push_back(i);
-          }
-        }
         auto ft = far_by_type.find(t);
         if (ft == far_by_type.end()) continue;
         for (NodeId m : ft->second) {
           if (m == n) continue;
-          uint64_t packed = PackPair(std::min(n, m), std::max(n, m));
-          if (in_l.count(packed) > 0) continue;  // handled above
-          ghost_depends[j].push_back(packed);
+          out.push_back(PackPair(std::min(n, m), std::max(n, m)));
         }
       }
     };
     scan_side(*cj.nbr1, *cj.nbr2);
     scan_side(*cj.nbr2, *cj.nbr1);
-    std::sort(depends_on[j].begin(), depends_on[j].end());
-    depends_on[j].erase(
-        std::unique(depends_on[j].begin(), depends_on[j].end()),
-        depends_on[j].end());
-    std::sort(ghost_depends[j].begin(), ghost_depends[j].end());
-    ghost_depends[j].erase(
-        std::unique(ghost_depends[j].begin(), ghost_depends[j].end()),
-        ghost_depends[j].end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
   });
-  // Sequential inversion: dependents_[i] = { j : j depends on i }.
-  // Excluded pairs with dependents become ghosts.
+  // Inversion: pairs in L become dependency edges (dependents_[i] ∋ j);
+  // excluded pairs with dependents become ghosts.
+  std::unordered_map<uint64_t, uint32_t> in_l;
+  in_l.reserve(candidates_.size() * 2);
+  for (uint32_t i = 0; i < candidates_.size(); ++i) {
+    in_l.emplace(PackPair(candidates_[i].e1, candidates_[i].e2), i);
+  }
   std::unordered_map<uint64_t, std::vector<uint32_t>> ghost_deps;
-  for (uint32_t j = 0; j < depends_on.size(); ++j) {
-    for (uint32_t i : depends_on[j]) dependents_[i].push_back(j);
-    for (uint64_t packed : ghost_depends[j]) {
-      ghost_deps[packed].push_back(j);
+  for (uint32_t j = 0; j < depends_on_pairs_.size(); ++j) {
+    for (uint64_t packed : depends_on_pairs_[j]) {
+      auto it = in_l.find(packed);
+      if (it != in_l.end()) {
+        if (it->second != j) dependents_[it->second].push_back(j);
+      } else {
+        ghost_deps[packed].push_back(j);
+      }
     }
   }
   ghosts_.reserve(ghost_deps.size());
   for (auto& [packed, deps] : ghost_deps) {
     std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
     ghosts_.push_back(GhostPair{static_cast<NodeId>(packed >> 32),
                                 static_cast<NodeId>(packed & 0xffffffffu),
                                 std::move(deps)});
@@ -503,15 +512,484 @@ void EmContext::BuildDependencyIndex() {
             });
 }
 
+EmContext::EmContext(const EmContext& prev,
+                     std::span<const NodeId> dirty_nodes,
+                     ContextPatchInfo* info)
+    : g_(prev.g_), keys_(prev.keys_), opts_(prev.opts_) {
+  const Graph& g = *g_;
+  // Spawning worker threads costs ~100µs each — real money against a
+  // sub-millisecond patch. Parallel phases below fall back to inline
+  // execution unless the affected region is big enough to pay for them.
+  auto workers = [this](size_t work) {
+    return work < 256 ? 1 : std::max(1, opts_.processors);
+  };
+  Timer section;
+
+  // Keys are recompiled outright (|Σ| patterns — negligible): a constant
+  // or predicate the delta introduced can newly resolve, flipping
+  // cp.matchable. Any NEW match such a flip enables must use delta edges
+  // and therefore lies inside an affected entity's ball, so the per-type
+  // reuse below stays sound.
+  CompileKeys();
+  if (info != nullptr) info->keys_seconds = section.Seconds();
+  section.Reset();
+
+  // Affected region: a keyed entity is affected iff its d-ball (d = its
+  // type's radius) intersects the dirty node set — in the POST-delta
+  // graph. That single test covers removals too: every removed edge
+  // leaves both (dirty) endpoints in place, and any old ≤d path from an
+  // entity to a dirty node has a surviving prefix that already reaches a
+  // dirty node within d. One multi-source BFS from the dirty set to the
+  // maximum radius, instead of one BFS per entity.
+  int dmax = 0;
+  for (const auto& [type, r] : radius_by_type_) dmax = std::max(dmax, r);
+  constexpr uint8_t kUnreached = 0xFF;
+  std::vector<uint8_t> dist(g.NumNodes(), kUnreached);
+  std::vector<NodeId> frontier, next_frontier;
+  for (NodeId n : dirty_nodes) {
+    if (n < g.NumNodes() && dist[n] == kUnreached) {
+      dist[n] = 0;
+      frontier.push_back(n);
+    }
+  }
+  for (int depth = 1; depth <= dmax && !frontier.empty(); ++depth) {
+    next_frontier.clear();
+    for (NodeId n : frontier) {
+      auto visit = [&](NodeId m) {
+        if (dist[m] == kUnreached) {
+          dist[m] = static_cast<uint8_t>(depth);
+          next_frontier.push_back(m);
+        }
+      };
+      for (const Edge& e : g.Out(n)) visit(e.dst);
+      for (const Edge& e : g.In(n)) visit(e.dst);
+    }
+    frontier.swap(next_frontier);
+  }
+
+  std::vector<uint8_t> affected(g.NumNodes(), 0);
+  std::vector<NodeId> affected_list;
+  for (const auto& [type, key_ids] : keys_by_type_) {
+    int d = radius_by_type_.at(type);
+    for (NodeId e : g.EntitiesOfType(type)) {
+      if (dist[e] != kUnreached && dist[e] <= d) {
+        affected[e] = 1;
+        affected_list.push_back(e);
+      }
+    }
+  }
+  std::sort(affected_list.begin(), affected_list.end());
+  if (info != nullptr) info->affected_seconds = section.Seconds();
+  section.Reset();
+
+  // Phase A': d-neighbor slots. Untouched keyed entities share the
+  // previous context's immutable sets; affected and new ones recompute.
+  std::vector<std::pair<NodeId, int>> todo;  // (entity, radius) to redo
+  std::vector<size_t> todo_slot;
+  size_t slots = 0;
+  dneighbor_slot_.assign(g.NumNodes(), kNoSlot);
+  for (const auto& [type, key_ids] : keys_by_type_) {
+    int d = radius_by_type_.at(type);
+    for (NodeId e : g.EntitiesOfType(type)) {
+      dneighbor_slot_[e] = static_cast<uint32_t>(slots++);
+      if (affected[e] == 0 && e < prev.dneighbor_slot_.size() &&
+          prev.dneighbor_slot_[e] != kNoSlot) {
+        continue;  // shared below
+      }
+      todo.emplace_back(e, d);
+      todo_slot.push_back(slots - 1);
+    }
+  }
+  dneighbor_sets_.resize(slots);
+  size_t shared_sets = 0;
+  for (const auto& [type, key_ids] : keys_by_type_) {
+    for (NodeId e : g.EntitiesOfType(type)) {
+      if (affected[e] == 0 && e < prev.dneighbor_slot_.size() &&
+          prev.dneighbor_slot_[e] != kNoSlot) {
+        dneighbor_sets_[dneighbor_slot_[e]] =
+            prev.dneighbor_sets_[prev.dneighbor_slot_[e]];
+        ++shared_sets;
+      }
+    }
+  }
+  ParallelFor(workers(todo.size()), todo.size(), [&](size_t i) {
+    dneighbor_sets_[todo_slot[i]] =
+        std::make_shared<const NodeSet>(DNeighbor(g, todo[i].first,
+                                                  todo[i].second));
+  });
+  for (const auto& s : dneighbor_sets_) neighbor_nodes_ += s->size();
+  if (info != nullptr) info->dneighbor_seconds = section.Seconds();
+  section.Reset();
+
+  // Phase B': enumerate L per type. Types with no affected entity carry
+  // their surviving candidates (and signature index) over verbatim.
+  // Affected types update their signature index in place — remove each
+  // affected entity's stale bucket memberships, re-sign it, re-insert —
+  // and enumerate only the pairs INVOLVING an affected entity; pairs of
+  // two untouched entities are carried from the previous L (their bucket
+  // memberships, pairing verdicts, and reduced sets cannot have changed).
+  // The previous source choice per key is pinned (any single source per
+  // key is an output-preserving filter), so a patched plan's L can differ
+  // from a from-scratch compile's L without changing chase(G, Σ).
+  // Pair → previous-candidate lookup, needed only when a type's
+  // signature structure changed (rare); built on first use so the common
+  // patch path never pays the O(|L|) hashing.
+  std::unordered_map<uint64_t, uint32_t> prev_by_pair;
+  auto lookup_prev_pair = [&](NodeId a, NodeId b) -> int64_t {
+    if (prev_by_pair.empty() && !prev.candidates_.empty()) {
+      prev_by_pair.reserve(prev.candidates_.size() * 2);
+      for (uint32_t i = 0; i < prev.candidates_.size(); ++i) {
+        prev_by_pair.emplace(
+            PackPair(prev.candidates_[i].e1, prev.candidates_[i].e2), i);
+      }
+    }
+    auto it = prev_by_pair.find(PackPair(a, b));
+    return it == prev_by_pair.end() ? -1 : static_cast<int64_t>(it->second);
+  };
+  // Previous candidates grouped by type, for the carry-over passes.
+  std::unordered_map<Symbol, std::vector<uint32_t>> prev_by_type;
+  for (uint32_t i = 0; i < prev.candidates_.size(); ++i) {
+    prev_by_type[g.entity_type(prev.candidates_[i].e1)].push_back(i);
+  }
+
+  struct RawPair {
+    NodeId e1, e2;
+    const std::vector<int>* keys;
+    bool recursive, value_based;
+    int64_t reuse;  // previous candidate index, or -1 = recompute (dirty)
+  };
+  std::vector<RawPair> raw;
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [type, key_ids] : keys_by_type_) {
+    auto entities = g.EntitiesOfType(type);
+    bool recursive = false, value_based = false;
+    for (int ki : key_ids) {
+      if (compiled_[ki].key->recursive()) {
+        recursive = true;
+      } else {
+        value_based = true;
+      }
+    }
+    std::vector<NodeId> affected_here;
+    for (NodeId e : entities) {
+      if (affected[e] != 0) affected_here.push_back(e);
+    }
+    auto prev_candidates_it = prev_by_type.find(type);
+    auto carry_clean_pairs = [&]() {
+      if (prev_candidates_it == prev_by_type.end()) return;
+      for (uint32_t i : prev_candidates_it->second) {
+        const Candidate& c = prev.candidates_[i];
+        if (affected[c.e1] != 0 || affected[c.e2] != 0) continue;
+        raw.push_back(RawPair{c.e1, c.e2, &key_ids, recursive, value_based,
+                              static_cast<int64_t>(i)});
+      }
+    };
+    if (affected_here.empty()) {
+      // Entirely clean type: carry candidates and share the signature
+      // index untouched.
+      carry_clean_pairs();
+      auto sig_it = prev.sig_index_.find(type);
+      if (sig_it != prev.sig_index_.end()) sig_index_[type] = sig_it->second;
+      continue;
+    }
+
+    // The affected-pair enumeration for this type: fills `seen`/`raw`
+    // with every pair that involves an affected entity and passes the
+    // blocking filter (or every such pair, for unblockable types).
+    seen.clear();
+    auto emit = [&](NodeId a, NodeId b) {
+      if (a > b) std::swap(a, b);
+      if (!seen.insert(PackPair(a, b)).second) return;
+      raw.push_back(RawPair{a, b, &key_ids, recursive, value_based, -1});
+    };
+
+    if (opts_.use_blocking) {
+      auto sig_it = prev.sig_index_.find(type);
+      std::shared_ptr<const SigIndex> prev_sig =
+          sig_it != prev.sig_index_.end() ? sig_it->second : nullptr;
+      if (prev_sig != nullptr && SigIndexStillValid(*prev_sig, key_ids)) {
+        if (!prev_sig->blockable) {
+          // Still unblockable: full enumeration of affected × all.
+          sig_index_[type] = prev_sig;
+          carry_clean_pairs();
+          for (NodeId a : affected_here) {
+            for (NodeId b : entities) {
+              if (b != a) emit(a, b);
+            }
+          }
+          continue;
+        }
+        // Re-sign exactly the affected entities against the pinned
+        // sources: the base bucket maps are shared untouched; the
+        // re-signed entities go into the per-key overlay (compacted into
+        // a fresh base once the overlay outgrows it).
+        auto updated = std::make_shared<SigIndex>();
+        updated->blockable = true;
+        for (const SigPerKey& old_pk : prev_sig->keys) {
+          SigPerKey pk;
+          pk.key = old_pk.key;
+          pk.source = old_pk.source;
+          pk.buckets = old_pk.buckets;
+          pk.entity_values = old_pk.entity_values;
+          pk.patched_values = old_pk.patched_values;
+          pk.patched_buckets = old_pk.patched_buckets;
+          const CompiledPattern& cp = compiled_[pk.key].cp;
+          for (NodeId e : affected_here) {
+            auto prior = pk.patched_values.find(e);
+            if (prior != pk.patched_values.end()) {
+              // Re-signed by an earlier patch generation: retract those
+              // overlay memberships before re-adding.
+              for (NodeId v : prior->second) {
+                auto bucket = pk.patched_buckets.find(v);
+                if (bucket == pk.patched_buckets.end()) continue;
+                auto& members = bucket->second;
+                members.erase(std::remove(members.begin(), members.end(),
+                                          e),
+                              members.end());
+                if (members.empty()) pk.patched_buckets.erase(bucket);
+              }
+            }
+            std::vector<NodeId> vals = ReachableValues(e, pk.source, cp);
+            for (NodeId v : vals) pk.patched_buckets[v].push_back(e);
+            pk.patched_values[e] = std::move(vals);
+          }
+          if (pk.patched_values.size() >
+              std::max<size_t>(64, pk.entity_values->size() / 4)) {
+            // Compact: materialize a fresh shared base from the overlay.
+            auto buckets = std::make_shared<SigMap>();
+            auto entity_values = std::make_shared<SigMap>();
+            for (const auto& [e, vals] : *pk.entity_values) {
+              if (pk.patched_values.find(e) != pk.patched_values.end()) {
+                continue;
+              }
+              if (!vals.empty()) entity_values->emplace(e, vals);
+            }
+            for (const auto& [e, vals] : pk.patched_values) {
+              if (!vals.empty()) entity_values->emplace(e, vals);
+            }
+            for (const auto& [e, vals] : *entity_values) {
+              for (NodeId v : vals) (*buckets)[v].push_back(e);
+            }
+            for (auto& [v, members] : *buckets) {
+              std::sort(members.begin(), members.end());
+            }
+            pk.buckets = std::move(buckets);
+            pk.entity_values = std::move(entity_values);
+            pk.patched_values.clear();
+            pk.patched_buckets.clear();
+          }
+          updated->keys.push_back(std::move(pk));
+        }
+        for (const SigPerKey& pk : updated->keys) {
+          for (NodeId e : affected_here) {
+            const std::vector<NodeId>* vals = pk.ValuesOf(e);
+            if (vals == nullptr) continue;
+            for (NodeId v : *vals) {
+              pk.ForEachMember(v, [&](NodeId m) {
+                if (m != e) emit(e, m);
+              });
+            }
+          }
+        }
+        sig_index_[type] = std::move(updated);
+        carry_clean_pairs();
+        continue;
+      }
+      // The delta changed the signature structure itself (a constant or
+      // predicate newly resolves): rebuild the type's index from scratch
+      // and re-enumerate it fully, still reusing the pairing verdicts of
+      // clean pairs that survived in the previous L.
+      auto idx = BuildSigIndex(key_ids, entities);
+      sig_index_[type] = idx;
+      if (idx->blockable) {
+        for (const SigPerKey& pk : idx->keys) {
+          for (const auto& [value, members] : *pk.buckets) {
+            for (size_t i = 0; i < members.size(); ++i) {
+              for (size_t j = i + 1; j < members.size(); ++j) {
+                NodeId a = members[i], b = members[j];
+                if (affected[a] == 0 && affected[b] == 0) {
+                  int64_t from = lookup_prev_pair(a, b);
+                  if (from >= 0) {
+                    if (seen.insert(PackPair(a, b)).second) {
+                      raw.push_back(RawPair{a, b, &key_ids, recursive,
+                                            value_based, from});
+                    }
+                    continue;
+                  }
+                }
+                emit(a, b);
+              }
+            }
+          }
+        }
+        continue;
+      }
+      // Newly unblockable: fall through to full enumeration.
+    }
+    // No blocking (or newly unblockable): affected × all pairs are
+    // dirty, clean × clean pairs carry over from the previous L. (With
+    // pairing but no blocking, a clean pair the pairing filter dropped
+    // before is re-checked only if it involves an affected entity — clean
+    // dropped pairs stay dropped because nothing in their balls moved.)
+    carry_clean_pairs();
+    for (NodeId a : affected_here) {
+      for (NodeId b : entities) {
+        if (b != a) emit(a, b);
+      }
+    }
+  }
+  candidates_initial_ = raw.size();
+  std::sort(raw.begin(), raw.end(), [](const RawPair& a, const RawPair& b) {
+    return std::tie(a.e1, a.e2) < std::tie(b.e1, b.e2);
+  });
+
+  if (info != nullptr) info->enumerate_seconds = section.Seconds();
+  section.Reset();
+
+  // Phase C': pairing fixpoint only for the dirty pairs.
+  struct Reduction {
+    bool keep = true;
+    NodeSet r1, r2;
+  };
+  std::vector<Reduction> reductions(opts_.use_pairing ? raw.size() : 0);
+  if (opts_.use_pairing) {
+    size_t dirty_pairs = 0;
+    for (const RawPair& rp : raw) dirty_pairs += rp.reuse < 0 ? 1 : 0;
+    const int pc = workers(dirty_pairs);
+    std::vector<PairingScratch> scratches(pc);
+    ParallelShards(pc, raw.size(), [&](int shard, size_t begin, size_t end) {
+      PairingScratch& scratch = scratches[shard];
+      for (size_t i = begin; i < end; ++i) {
+        const RawPair& rp = raw[i];
+        if (rp.reuse >= 0) continue;
+        const NodeSet& n1 = DNbr(rp.e1);
+        const NodeSet& n2 = DNbr(rp.e2);
+        Reduction& red = reductions[i];
+        red.keep = false;
+        for (int ki : *rp.keys) {
+          PairingResult pr =
+              ComputeMaxPairing(g, compiled_[ki].cp, rp.e1, rp.e2, n1, n2,
+                                /*collect_pairs=*/false, &scratch);
+          if (pr.paired) {
+            red.keep = true;
+            red.r1.UnionWith(pr.reduced1);
+            red.r2.UnionWith(pr.reduced2);
+          }
+        }
+      }
+    });
+  }
+
+  if (info != nullptr) info->pairing_seconds = section.Seconds();
+  section.Reset();
+
+  // Assembly: reused pairs share the previous reduced sets; dirty pairs
+  // get fresh ones. Candidates stay sorted by (e1, e2) as in a full
+  // compile.
+  candidates_.reserve(raw.size());
+  std::vector<uint32_t> dirty_candidates;
+  std::vector<int64_t> candidate_reuse;
+  candidate_reuse.reserve(raw.size());
+  size_t reused = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const RawPair& rp = raw[i];
+    Candidate c;
+    c.e1 = rp.e1;
+    c.e2 = rp.e2;
+    c.keys = rp.keys;
+    c.has_recursive_key = rp.recursive;
+    c.has_value_based_key = rp.value_based;
+    if (rp.reuse >= 0) {
+      ++reused;
+      if (opts_.use_pairing) {
+        // reduced_pool_[2i] / [2i+1] are candidate i's sides, in both
+        // the full and the patched build.
+        const auto& r1 = prev.reduced_pool_[2 * rp.reuse];
+        const auto& r2 = prev.reduced_pool_[2 * rp.reuse + 1];
+        neighbor_nodes_reduced_ += r1->size() + r2->size();
+        reduced_pool_.push_back(r1);
+        c.nbr1 = r1.get();
+        reduced_pool_.push_back(r2);
+        c.nbr2 = r2.get();
+      } else {
+        c.nbr1 = &DNbr(rp.e1);
+        c.nbr2 = &DNbr(rp.e2);
+      }
+      candidate_reuse.push_back(rp.reuse);
+      candidates_.push_back(std::move(c));
+      continue;
+    }
+    if (opts_.use_pairing) {
+      Reduction& red = reductions[i];
+      if (!red.keep) continue;
+      neighbor_nodes_reduced_ += red.r1.size() + red.r2.size();
+      reduced_pool_.push_back(
+          std::make_shared<const NodeSet>(std::move(red.r1)));
+      c.nbr1 = reduced_pool_.back().get();
+      reduced_pool_.push_back(
+          std::make_shared<const NodeSet>(std::move(red.r2)));
+      c.nbr2 = reduced_pool_.back().get();
+    } else {
+      c.nbr1 = &DNbr(rp.e1);
+      c.nbr2 = &DNbr(rp.e2);
+    }
+    dirty_candidates.push_back(static_cast<uint32_t>(candidates_.size()));
+    candidate_reuse.push_back(-1);
+    candidates_.push_back(std::move(c));
+  }
+
+  // The dependency index and ghosts are candidate-index-relative; rebuild
+  // them over the new L, copying the neighbor-ball scans of every
+  // carried-over candidate.
+  BuildDependencyIndex(&prev, &candidate_reuse);
+  if (info != nullptr) info->depindex_seconds = section.Seconds();
+
+  if (info != nullptr) {
+    info->affected_entities = std::move(affected_list);
+    info->dirty_candidates = std::move(dirty_candidates);
+    info->dneighbors_reused = shared_sets;
+    info->candidates_reused = reused;
+    info->candidate_reuse = std::move(candidate_reuse);
+  }
+}
+
 size_t EmContext::MemoryBytes() const {
-  size_t bytes = candidates_.capacity() * sizeof(Candidate) +
-                 dneighbor_slot_.capacity() * sizeof(uint32_t) +
-                 compiled_.capacity() * sizeof(CompiledKey);
-  for (const NodeSet& s : dneighbor_sets_) bytes += s.MemoryBytes();
-  for (const NodeSet& s : reduced_pool_) bytes += s.MemoryBytes();
+  size_t bytes =
+      candidates_.capacity() * sizeof(Candidate) +
+      dneighbor_slot_.capacity() * sizeof(uint32_t) +
+      compiled_.capacity() * sizeof(CompiledKey) +
+      dneighbor_sets_.capacity() * sizeof(std::shared_ptr<const NodeSet>) +
+      reduced_pool_.capacity() * sizeof(std::shared_ptr<const NodeSet>) +
+      dependents_.capacity() * sizeof(std::vector<uint32_t>) +
+      ghosts_.capacity() * sizeof(GhostPair);
+  for (const auto& s : dneighbor_sets_) {
+    bytes += sizeof(NodeSet) + s->MemoryBytes();
+  }
+  for (const auto& s : reduced_pool_) {
+    bytes += sizeof(NodeSet) + s->MemoryBytes();
+  }
   for (const auto& d : dependents_) bytes += d.capacity() * sizeof(uint32_t);
+  for (const auto& d : depends_on_pairs_) {
+    bytes += d.capacity() * sizeof(uint64_t);
+  }
+  bytes += depends_on_pairs_.capacity() * sizeof(std::vector<uint64_t>);
   for (const auto& gh : ghosts_) {
-    bytes += sizeof(GhostPair) + gh.dependents.capacity() * sizeof(uint32_t);
+    bytes += gh.dependents.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& [type, idx] : sig_index_) {
+    bytes += sizeof(SigIndex);
+    if (idx == nullptr) continue;
+    for (const SigPerKey& pk : idx->keys) {
+      bytes += pk.source.path.capacity() * sizeof(SigStep);
+      for (const SigMap* m :
+           {pk.buckets.get(), pk.entity_values.get(), &pk.patched_values,
+            &pk.patched_buckets}) {
+        if (m == nullptr) continue;
+        for (const auto& [k, vals] : *m) {
+          bytes += sizeof(NodeId) + vals.capacity() * sizeof(NodeId);
+        }
+      }
+    }
   }
   return bytes;
 }
@@ -564,6 +1042,32 @@ size_t internal::PairStreamer::EmitMerges(
     members_[mirror_.Find(ra)] = std::move(ca);
   }
   return emitted_.size();
+}
+
+void internal::PairStreamer::SeedClasses(
+    std::span<const std::pair<NodeId, NodeId>> pairs) {
+  if (sink_ == nullptr) return;
+  for (const auto& [a, b] : pairs) {
+    // Pre-mark as emitted (a < b in MatchResult::pairs; normalize
+    // defensively) so the cross products below and later merges skip
+    // everything the previous run already streamed.
+    emitted_.insert(PackPair(std::min(a, b), std::max(a, b)));
+    NodeId ra = mirror_.Find(a);
+    NodeId rb = mirror_.Find(b);
+    if (ra == rb) continue;
+    auto take = [&](NodeId root) {
+      auto it = members_.find(root);
+      if (it == members_.end()) return std::vector<NodeId>{root};
+      std::vector<NodeId> m = std::move(it->second);
+      members_.erase(it);
+      return m;
+    };
+    std::vector<NodeId> ca = take(ra);
+    std::vector<NodeId> cb = take(rb);
+    mirror_.Union(ra, rb);
+    ca.insert(ca.end(), cb.begin(), cb.end());
+    members_[mirror_.Find(ra)] = std::move(ca);
+  }
 }
 
 Status internal::PairStreamer::Finish(

@@ -2,7 +2,7 @@
 #define GKEYS_CORE_EM_COMMON_H_
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -118,6 +118,22 @@ class MatchSink {
   virtual bool cancelled() { return false; }
 };
 
+/// Seed for an incremental re-run (Matcher::Rematch): the engines start
+/// from the previous fixpoint instead of Eq0 and re-check only the dirty
+/// candidates, letting the existing dependency/ghost wake-up machinery
+/// cascade into clean pairs that new merges enable. Sound for additive
+/// deltas (key identification is monotone in G — adding triples never
+/// removes a match); Rematch falls back to a full run when the delta
+/// removed triples.
+struct RematchSeed {
+  /// The previous MatchResult's pairs: unioned into Eq up front, streamed
+  /// as already-emitted (sinks see only the delta).
+  std::span<const std::pair<NodeId, NodeId>> prev_pairs;
+  /// Candidate indices to re-check initially (a patched plan's
+  /// dirty_candidates()).
+  std::span<const uint32_t> active;
+};
+
 namespace internal {
 
 /// Collects the Eq merges an engine performs during a round so the
@@ -159,6 +175,11 @@ class PairStreamer {
   /// Replays `merges` (an engine's MergeLog drain) against the mirror and
   /// emits every newly implied pair. Returns total pairs emitted so far.
   size_t EmitMerges(std::span<const std::pair<NodeId, NodeId>> merges);
+
+  /// Seeds the mirror with an already-known fixpoint WITHOUT emitting:
+  /// the pairs count as emitted, so a seeded rematch streams exactly the
+  /// delta beyond the previous result. Call before any EmitMerges.
+  void SeedClasses(std::span<const std::pair<NodeId, NodeId>> pairs);
 
   /// Final sweep after the fixpoint: emits whatever the per-round deltas
   /// did not cover (zero-round runs; merges after the last emission),
@@ -205,6 +226,35 @@ struct CompiledKey {
   std::vector<TourStep> tour;
 };
 
+/// Outputs of the incremental patch constructor (see below): which part
+/// of the compiled state had to be redone, and which candidates a seeded
+/// re-run must re-check.
+struct ContextPatchInfo {
+  /// Keyed entities whose d-ball intersects a dirty node (sorted): their
+  /// signatures, d-neighbors, and pairing domains were recompiled.
+  std::vector<NodeId> affected_entities;
+  /// Indices into candidates() whose isomorphism-check outcome may have
+  /// changed: at least one affected endpoint, or newly enumerated. A
+  /// seeded rematch re-checks exactly these (plus the dependency/ghost
+  /// cascade the engines already perform).
+  std::vector<uint32_t> dirty_candidates;
+  /// Reuse accounting (benchmarks and tests read these).
+  size_t dneighbors_reused = 0;
+  size_t candidates_reused = 0;
+  /// Per new-candidate index: the source plan's candidate index it was
+  /// carried over from, or -1 when recompiled. PatchProductGraph replays
+  /// the cached pairing relations of the carried candidates.
+  std::vector<int64_t> candidate_reuse;
+  /// Where the patch time went (seconds; bench_incremental reports them).
+  double keys_seconds = 0;
+  double affected_seconds = 0;
+  double dneighbor_seconds = 0;
+  double enumerate_seconds = 0;
+  double pairing_seconds = 0;
+  double depindex_seconds = 0;
+  double product_graph_seconds = 0;  // filled by MatchPlan::Patch
+};
+
 /// Everything DriverMR's line 1 precomputes, shared by all algorithms:
 /// compiled keys, the candidate list L (signature-blocked, optionally
 /// pairing-reduced), d-neighbors, and the entity-dependency index of §4.2.
@@ -212,6 +262,23 @@ class EmContext {
  public:
   /// Builds the context. `g` must be finalized.
   EmContext(const Graph& g, const KeySet& keys, const EmOptions& opts);
+
+  /// Incremental rebuild: compiles the same key set against `prev`'s
+  /// graph AFTER a delta was applied to it (Graph::Apply), recompiling
+  /// only the affected region — entities whose d-ball around them
+  /// intersects `dirty_nodes` — and sharing every untouched section with
+  /// `prev` (d-neighbor sets and pairing-reduced sets are copy-on-write
+  /// via shared ownership; untouched candidates are carried over without
+  /// re-running the pairing fixpoint). The dependency index and ghost set
+  /// are rebuilt (they are candidate-index-relative and cheap at |L|
+  /// scale). `prev` must outlive nothing — the new context is
+  /// self-contained apart from the shared immutable NodeSet payloads.
+  ///
+  /// The enumeration counters (candidates_initial/blocked) cover only the
+  /// re-enumerated types; reused types carry their surviving candidates
+  /// without re-counting the blocked pairs.
+  EmContext(const EmContext& prev, std::span<const NodeId> dirty_nodes,
+            ContextPatchInfo* info);
 
   const Graph& graph() const { return *g_; }
   const EmOptions& options() const { return opts_; }
@@ -277,29 +344,130 @@ class EmContext {
   }
   size_t neighbor_entities() const { return dneighbor_sets_.size(); }
 
-  /// Approximate heap footprint of the compiled structures, in bytes
-  /// (EmStats::plan_bytes; excludes the referenced Graph and KeySet).
+  /// Approximate heap footprint of the compiled structures, in bytes,
+  /// reported as EmStats::plan_bytes. The estimate is CAPACITY-based:
+  /// it sums vector capacities (including the candidate list, d-neighbor
+  /// and pairing-reduced NodeSet payloads, the dependency index's outer
+  /// and per-candidate vectors, and the ghost-tracking entries), not
+  /// allocator truth — good for trend lines, not for accounting. For a
+  /// patched context, NodeSets shared with the source plan are counted in
+  /// full on both sides. Excludes the referenced Graph and KeySet.
   size_t MemoryBytes() const;
 
  private:
   static constexpr uint32_t kNoSlot = UINT32_MAX;
 
-  void BuildCandidates();
-  void BuildDependencyIndex();
+  // ---- Signature index (blocking), kept per plan so a patch re-signs
+  // ---- only the affected entities.
 
-  /// Signature blocking for one keyed type: when every matchable key on
-  /// `type` pins a value variable or constant directly on the designated
-  /// variable, appends exactly the same-type pairs sharing at least one
-  /// required (predicate, value) signature and returns true; returns
-  /// false when some key is purely recursive/variable-only (caller falls
-  /// back to full enumeration).
-  bool EnumerateBlockedPairs(const std::vector<int>& key_ids,
-                             std::span<const NodeId> entities,
-                             std::vector<std::pair<NodeId, NodeId>>* out) const;
+  /// One hop of a pattern path from the designated variable toward a
+  /// value terminal.
+  struct SigStep {
+    Symbol pred;
+    bool forward;
+    int to_node;
+    friend bool operator==(const SigStep& a, const SigStep& b) {
+      return a.pred == b.pred && a.forward == b.forward &&
+             a.to_node == b.to_node;
+    }
+  };
+  /// A signature source of one key: a path from x to a value variable
+  /// (constant == kNoNode) or a graph-resolved constant. Any match maps
+  /// the terminal to a value reached from BOTH entities along this exact
+  /// path, so sharing a reachable terminal is an Eq-independent necessary
+  /// condition for identification.
+  struct SigSource {
+    std::vector<SigStep> path;
+    NodeId constant = kNoNode;
+    friend bool operator==(const SigSource& a, const SigSource& b) {
+      return a.constant == b.constant && a.path == b.path;
+    }
+  };
+  using SigMap = std::unordered_map<NodeId, std::vector<NodeId>>;
+
+  /// The chosen (most selective) source of one matchable key, with its
+  /// value buckets. entity_values is the bucket transpose: it lets a
+  /// patch remove an affected entity's stale memberships without knowing
+  /// the pre-delta graph. The base maps are immutable and shared across
+  /// plan generations; a patch records re-signed entities in the small
+  /// overlay maps (base memberships of an overlaid entity are ignored at
+  /// read time) and compacts once the overlay outgrows the base — the
+  /// same per-node-thaw idea Graph uses for its CSR.
+  struct SigPerKey {
+    int key = -1;  // compiled-key index
+    SigSource source;
+    std::shared_ptr<const SigMap> buckets;        // value → entities (asc)
+    std::shared_ptr<const SigMap> entity_values;  // entity → values
+    // Overlay: entities re-signed since the base was materialized (an
+    // empty vector means "reaches no terminal"), and the transpose of
+    // their current memberships.
+    SigMap patched_values;   // entity → current values
+    SigMap patched_buckets;  // value → re-signed entities reaching it
+
+    /// Current values of `e` through the overlay.
+    const std::vector<NodeId>* ValuesOf(NodeId e) const {
+      auto it = patched_values.find(e);
+      if (it != patched_values.end()) return &it->second;
+      auto base = entity_values->find(e);
+      return base == entity_values->end() ? nullptr : &base->second;
+    }
+
+    /// Invokes fn(entity) for every current member of value `v`'s bucket.
+    template <typename Fn>
+    void ForEachMember(NodeId v, Fn&& fn) const {
+      auto base = buckets->find(v);
+      if (base != buckets->end()) {
+        for (NodeId m : base->second) {
+          if (patched_values.find(m) == patched_values.end()) fn(m);
+        }
+      }
+      auto patched = patched_buckets.find(v);
+      if (patched != patched_buckets.end()) {
+        for (NodeId m : patched->second) fn(m);
+      }
+    }
+  };
+  /// Signature state of one keyed type. blockable == false means some
+  /// matchable key pins nothing on x (full enumeration for the type).
+  struct SigIndex {
+    bool blockable = false;
+    std::vector<SigPerKey> keys;
+  };
+
+  void BuildCandidates();
+
+  /// Builds the §4.2 dependency index (dependents_/ghosts_) from the
+  /// per-candidate depended-on pair scans. When patching, candidates
+  /// carried over via `reuse` copy their scan from `prev` instead of
+  /// re-walking their neighbor balls.
+  void BuildDependencyIndex(const EmContext* prev,
+                            const std::vector<int64_t>* reuse);
+
+  /// All signature sources of `cp` (BFS over the pattern from x).
+  static std::vector<SigSource> FindSigSources(const CompiledPattern& cp);
+
+  /// The terminal values entity `e` reaches along `src.path`, ascending.
+  std::vector<NodeId> ReachableValues(NodeId e, const SigSource& src,
+                                      const CompiledPattern& cp) const;
+
+  /// Compiles the signature index of one keyed type: per matchable key,
+  /// picks the most selective source and materializes its buckets.
+  std::shared_ptr<const SigIndex> BuildSigIndex(
+      const std::vector<int>& key_ids,
+      std::span<const NodeId> entities) const;
+
+  /// Whether `prev_idx` (a pre-delta SigIndex of this type) is still
+  /// valid under the recompiled keys: same matchable key list, and every
+  /// stored source is still a source of its key.
+  bool SigIndexStillValid(const SigIndex& prev_idx,
+                          const std::vector<int>& key_ids) const;
+
+  /// Compiles the key set against *g_ (shared by both constructors).
+  void CompileKeys();
 
   /// The cached d-neighbor of keyed entity `e` (must exist).
   const NodeSet& DNbr(NodeId e) const {
-    return dneighbor_sets_[dneighbor_slot_[e]];
+    return *dneighbor_sets_[dneighbor_slot_[e]];
   }
 
   const Graph* g_;
@@ -309,14 +477,24 @@ class EmContext {
   std::unordered_map<Symbol, std::vector<int>> keys_by_type_;
   std::unordered_map<Symbol, int> radius_by_type_;
   std::vector<Candidate> candidates_;
-  // Stable storage for the NodeSets candidates point into: one dense slot
-  // per keyed entity (indexed through dneighbor_slot_), plus a pool for
-  // the per-pair pairing-reduced sets. dneighbor_sets_ is reserved to its
-  // exact final size before any pointer is taken, so element addresses
-  // stay stable (and survive moves of the context).
+  // Storage for the NodeSets candidates point into: one dense slot per
+  // keyed entity (indexed through dneighbor_slot_), plus a pool for the
+  // per-pair pairing-reduced sets — reduced_pool_[2i] / [2i+1] are
+  // candidate i's two sides (the patch constructor relies on that
+  // pairing). Payloads are shared immutable NodeSets so a patched context
+  // reuses untouched sections copy-on-write, and the raw pointers handed
+  // to Candidate stay stable across context moves.
   std::vector<uint32_t> dneighbor_slot_;
-  std::vector<NodeSet> dneighbor_sets_;
-  std::deque<NodeSet> reduced_pool_;
+  std::vector<std::shared_ptr<const NodeSet>> dneighbor_sets_;
+  std::vector<std::shared_ptr<const NodeSet>> reduced_pool_;
+  // Signature index per keyed type (use_blocking only); shared with the
+  // source plan for types the delta did not touch.
+  std::unordered_map<Symbol, std::shared_ptr<const SigIndex>> sig_index_;
+  // Per candidate: the packed same-type keyed pairs inside its neighbor
+  // balls that a recursive key could consume (the §4.2 scan's raw
+  // output). Kept so a patch copies clean candidates' scans instead of
+  // re-walking their balls; dependents_/ghosts_ are derived from it.
+  std::vector<std::vector<uint64_t>> depends_on_pairs_;
   size_t candidates_initial_ = 0;
   size_t candidates_blocked_ = 0;
   std::vector<GhostPair> ghosts_;

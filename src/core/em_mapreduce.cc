@@ -33,8 +33,8 @@ MatchResult RunEmMapReduce(const EmContext& ctx) {
 }
 
 StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
-                                     const EmOptions& opts,
-                                     MatchSink* sink) {
+                                     const EmOptions& opts, MatchSink* sink,
+                                     const RematchSeed* seed) {
   const Graph& g = ctx.graph();
   const auto& candidates = ctx.candidates();
   const int p = std::max(1, opts.processors);
@@ -110,24 +110,49 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
         }
       });
 
+  // Seeded rematch: Eq starts at the previous fixpoint. Pairs already
+  // equal under the seed had every consequence drawn in the previous run:
+  // mark them (and seed-equal ghosts) done up front so only NEW merges
+  // wake dependents.
+  std::vector<uint8_t> ghost_done(ctx.ghosts().size(), 0);
+  std::vector<uint8_t> tc_done(candidates.size(), 0);
+  if (seed != nullptr) {
+    for (const auto& [a, b] : seed->prev_pairs) eq.Union(a, b);
+    for (uint32_t i = 0; i < candidates.size(); ++i) {
+      if (eq.Same(candidates[i].e1, candidates[i].e2)) tc_done[i] = 1;
+    }
+    for (uint32_t gi = 0; gi < ctx.ghosts().size(); ++gi) {
+      const auto& ghost = ctx.ghosts()[gi];
+      if (eq.Same(ghost.e1, ghost.e2)) ghost_done[gi] = 1;
+    }
+  }
+
   // DriverMR: choose the first round's inputs. With the dependency
   // optimization, start from L0 (pairs carrying a value-based key);
   // everything else enters in round 2, after its dependencies had a
-  // chance to fire.
+  // chance to fire. A seeded rematch instead admits exactly the dirty
+  // candidates; clean ones are pulled in by the wake-ups below.
   std::vector<std::pair<uint32_t, uint8_t>> inputs;
   std::vector<uint8_t> entered(candidates.size(), 0);
-  std::vector<uint8_t> ghost_done(ctx.ghosts().size(), 0);
   bool deferred_pending = false;
-  for (uint32_t i = 0; i < candidates.size(); ++i) {
-    if (opts.use_dependency && !candidates[i].has_value_based_key) {
-      deferred_pending = true;
-      continue;
+  if (seed != nullptr) {
+    for (uint32_t i : seed->active) {
+      inputs.emplace_back(i, 1);
+      entered[i] = 1;
     }
-    inputs.emplace_back(i, 1);
-    entered[i] = 1;
+  } else {
+    for (uint32_t i = 0; i < candidates.size(); ++i) {
+      if (opts.use_dependency && !candidates[i].has_value_based_key) {
+        deferred_pending = true;
+        continue;
+      }
+      inputs.emplace_back(i, 1);
+      entered[i] = 1;
+    }
   }
 
   internal::PairStreamer streamer(sink, g.NumNodes());
+  if (seed != nullptr) streamer.SeedClasses(seed->prev_pairs);
   auto end_of_round = [&]() -> Status {
     if (sink == nullptr) return Status::OK();
     result.stats.confirmed = streamer.EmitMerges(merge_log.Drain());
@@ -168,6 +193,17 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
     for (uint32_t idx : identified) {
       for (uint32_t dep : ctx.dependents()[idx]) dirty[dep] = 1;
     }
+    // Seeded rematch: candidates outside the pipeline never emit
+    // kTcIdentified, so scan them for transitive equality here and wake
+    // their dependents the same way.
+    if (seed != nullptr && changed) {
+      for (uint32_t i = 0; i < candidates.size(); ++i) {
+        if (tc_done[i] != 0 || entered[i] != 0) continue;
+        if (!eq.Same(candidates[i].e1, candidates[i].e2)) continue;
+        tc_done[i] = 1;
+        for (uint32_t dep : ctx.dependents()[i]) dirty[dep] = 1;
+      }
+    }
     // Ghost pairs: dropped from L by pairing but depended upon. When one
     // becomes equal transitively, its dependents must be re-checked.
     for (uint32_t gi = 0; gi < ctx.ghosts().size(); ++gi) {
@@ -202,6 +238,16 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
     for (uint32_t idx : carried) {
       inputs.emplace_back(idx,
                           (!opts.use_incremental || dirty[idx]) ? 1 : 0);
+    }
+    // Seeded rematch: clean candidates woken by this round's merges join
+    // the pipeline (in the full run everything entered in rounds 1–2).
+    if (seed != nullptr) {
+      for (uint32_t i = 0; i < candidates.size(); ++i) {
+        if (dirty[i] != 0 && entered[i] == 0) {
+          inputs.emplace_back(i, 1);
+          entered[i] = 1;
+        }
+      }
     }
   }
 

@@ -41,9 +41,16 @@ MatchResult RunEmMapReduce(const EmContext& ctx);
 /// contract of Matcher). When `sink` is non-null, confirmed pairs and
 /// per-round progress are streamed to it and cancellation is honored
 /// between rounds (StatusCode::kCancelled).
+///
+/// With a `seed` (Matcher::Rematch), Eq starts from the previous
+/// fixpoint, only the seed's active candidates enter round 1, and merges
+/// pull clean candidates into the pipeline through the dependency index
+/// and ghost watchers (regardless of use_incremental — the restricted
+/// input set requires the wake-ups for completeness).
 StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
                                      const EmOptions& run_options,
-                                     MatchSink* sink);
+                                     MatchSink* sink,
+                                     const RematchSeed* seed = nullptr);
 
 }  // namespace gkeys
 

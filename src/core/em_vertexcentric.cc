@@ -275,7 +275,8 @@ MatchResult RunEmVertexCentric(const EmContext& ctx) {
 StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
                                          const ProductGraph& pg,
                                          const EmOptions& opts,
-                                         MatchSink* sink) {
+                                         MatchSink* sink,
+                                         const RematchSeed* seed) {
   const Graph& g = ctx.graph();
   const auto& candidates = ctx.candidates();
 
@@ -312,13 +313,33 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
 
   // Seeds: every candidate starts its own checks (value-based and
   // recursive keys alike; recursive keys may fire immediately through
-  // identity pairs in Eq0).
+  // identity pairs in Eq0). A seeded rematch instead starts Eq from the
+  // previous fixpoint and messages only the dirty candidates; seed-equal
+  // candidates and ghosts are marked done up front WITHOUT notifying
+  // dependents (their consequences were drawn in the previous run), so
+  // the quiescence sweep cascades only on new merges.
   uint64_t messages = 0;
   internal::PairStreamer streamer(sink, g.NumNodes());
   bool progressed = true;
   std::vector<uint8_t> ghost_done(ctx.ghosts().size(), 0);
-  std::vector<uint32_t> to_seed(candidates.size());
-  for (uint32_t i = 0; i < candidates.size(); ++i) to_seed[i] = i;
+  std::vector<uint32_t> to_seed;
+  if (seed != nullptr) {
+    for (const auto& [a, b] : seed->prev_pairs) eq.Union(a, b);
+    streamer.SeedClasses(seed->prev_pairs);
+    for (uint32_t i = 0; i < candidates.size(); ++i) {
+      if (eq.Same(candidates[i].e1, candidates[i].e2)) {
+        flags[i].store(1, std::memory_order_relaxed);
+      }
+    }
+    for (uint32_t gi = 0; gi < ctx.ghosts().size(); ++gi) {
+      const auto& ghost = ctx.ghosts()[gi];
+      if (eq.Same(ghost.e1, ghost.e2)) ghost_done[gi] = 1;
+    }
+    to_seed.assign(seed->active.begin(), seed->active.end());
+  } else {
+    to_seed.resize(candidates.size());
+    for (uint32_t i = 0; i < candidates.size(); ++i) to_seed[i] = i;
+  }
   while (progressed && !to_seed.empty()) {
     ++result.stats.rounds;  // engine runs (1 + quiescence sweeps)
     std::vector<std::pair<uint32_t, VcMessage>> seeds;

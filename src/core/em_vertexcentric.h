@@ -42,10 +42,15 @@ MatchResult RunEmVertexCentric(const EmContext& ctx);
 /// was compiled). When `sink` is non-null, confirmed pairs and per-round
 /// progress are streamed and cancellation is honored between engine runs
 /// (StatusCode::kCancelled).
+/// With a `seed` (Matcher::Rematch), Eq starts from the previous
+/// fixpoint, only the seed's active candidates get initial messages, and
+/// the existing increment-message / quiescence-sweep machinery cascades
+/// into clean candidates that new merges enable.
 StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
                                          const ProductGraph& pg,
                                          const EmOptions& run_options,
-                                         MatchSink* sink);
+                                         MatchSink* sink,
+                                         const RematchSeed* seed = nullptr);
 
 }  // namespace gkeys
 

@@ -44,8 +44,50 @@ StatusOr<MatchPlan> CompileMatchPlan(const Graph& g, const KeySet& keys,
     rep->pg.emplace(BuildProductGraph(rep->ctx));
   }
   rep->compile_seconds = timer.Seconds();
-  rep->memory_bytes = rep->ctx.MemoryBytes() +
-                      (rep->pg.has_value() ? rep->pg->MemoryBytes() : 0);
+  return MatchPlan(std::move(rep));
+}
+
+StatusOr<MatchPlan> MatchPlan::Patch(const GraphDelta& delta) const {
+  if (!valid()) {
+    return Status::InvalidArgument(
+        "cannot Patch an empty MatchPlan: obtain one from Matcher::Compile");
+  }
+  const Graph& g = graph();
+  if (!g.finalized()) {
+    return Status::FailedPrecondition(
+        "MatchPlan::Patch requires the delta to be applied first: "
+        "Graph::Apply mutates and re-finalizes the graph");
+  }
+  if (g.NumNodes() != delta.base_nodes() + delta.num_new_nodes()) {
+    return Status::FailedPrecondition(
+        "MatchPlan::Patch: the graph has " + std::to_string(g.NumNodes()) +
+        " nodes but the applied delta implies " +
+        std::to_string(delta.base_nodes() + delta.num_new_nodes()) +
+        " — was this delta applied to this plan's graph?");
+  }
+
+  Timer timer;
+  std::vector<NodeId> dirty = delta.TouchedNodes();
+  ContextPatchInfo info;
+  std::shared_ptr<MatchPlan::Rep> rep(new MatchPlan::Rep(
+      rep_->ctx, *rep_->keys, rep_->options, dirty, &info));
+  if (rep_->options.build_product_graph) {
+    // Gp is patched at |L| scale: carried-over candidates replay their
+    // cached pairing relations; only dirty ones re-run the fixpoint.
+    Timer pg_timer;
+    if (rep_->pg.has_value()) {
+      rep->pg.emplace(PatchProductGraph(*rep_->pg, rep->ctx,
+                                        info.candidate_reuse, dirty));
+    } else {
+      rep->pg.emplace(BuildProductGraph(rep->ctx));
+    }
+    info.product_graph_seconds = pg_timer.Seconds();
+  }
+  rep->patched = true;
+  rep->dirty_candidates = std::move(info.dirty_candidates);
+  rep->patch_info = std::move(info);
+  rep->patch_info.dirty_candidates.clear();  // lives in dirty_candidates()
+  rep->compile_seconds = timer.Seconds();
   return MatchPlan(std::move(rep));
 }
 

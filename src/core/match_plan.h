@@ -1,12 +1,15 @@
 #ifndef GKEYS_CORE_MATCH_PLAN_H_
 #define GKEYS_CORE_MATCH_PLAN_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "common/status.h"
 #include "core/em_common.h"
 #include "core/product_graph.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 #include "keys/key.h"
 
@@ -95,8 +98,56 @@ class MatchPlan {
 
   /// Approximate heap footprint of the compiled structures in bytes
   /// (candidates, neighbor sets, dependency index, product graph);
-  /// reported as EmStats::plan_bytes. 0 on an empty plan.
-  size_t memory_bytes() const { return valid() ? rep_->memory_bytes : 0; }
+  /// reported as EmStats::plan_bytes. The estimate is capacity-based
+  /// (see EmContext::MemoryBytes) and computed lazily on first access —
+  /// walking every capacity is measurable next to a sub-millisecond
+  /// Patch. 0 on an empty plan.
+  size_t memory_bytes() const {
+    if (!valid()) return 0;
+    size_t cached = rep_->memory_bytes.load(std::memory_order_relaxed);
+    if (cached != 0) return cached;
+    size_t bytes =
+        rep_->ctx.MemoryBytes() +
+        (rep_->pg.has_value() ? rep_->pg->MemoryBytes() : 0);
+    rep_->memory_bytes.store(bytes, std::memory_order_relaxed);
+    return bytes;
+  }
+
+  /// Incremental recompilation: given a delta that has ALREADY been
+  /// applied to this plan's graph (Graph::Apply re-finalizes it), builds
+  /// the plan for the post-delta graph by recompiling only the affected
+  /// region — entities whose d-ball intersects a node the delta touched —
+  /// and sharing every untouched section (d-neighbor sets, pairing
+  /// reductions, surviving candidates of clean types) with this plan,
+  /// copy-on-write. The patched plan records which candidates are dirty
+  /// so Matcher::Rematch can re-run exactly those.
+  ///
+  /// After Graph::Apply this source plan's graph has changed underneath
+  /// it: do not Run the source plan again — run the patched one.
+  ///
+  /// compile_seconds() of the patched plan is the PATCH cost, so
+  /// EmStats::prep_seconds keeps reporting what the plan in hand actually
+  /// cost. Errors: InvalidArgument on an empty plan or a delta staged
+  /// against a different graph; FailedPrecondition when the delta has not
+  /// been applied (graph unfinalized or node count mismatch).
+  StatusOr<MatchPlan> Patch(const GraphDelta& delta) const;
+
+  /// Whether this plan came from Patch (then dirty_candidates() is the
+  /// re-check set for a seeded rematch).
+  bool patched() const { return valid() && rep_->patched; }
+
+  /// Indices into context().candidates() whose check outcome may differ
+  /// from the pre-delta plan. Empty on a non-patched plan (Rematch then
+  /// re-checks everything).
+  std::span<const uint32_t> dirty_candidates() const {
+    return valid() ? std::span<const uint32_t>(rep_->dirty_candidates)
+                   : std::span<const uint32_t>();
+  }
+
+  /// Patch cost breakdown and reuse accounting; nullptr unless patched().
+  const ContextPatchInfo* patch_info() const {
+    return patched() ? &rep_->patch_info : nullptr;
+  }
 
  private:
   friend StatusOr<MatchPlan> CompileMatchPlan(const Graph& g,
@@ -108,12 +159,22 @@ class MatchPlan {
         const EmOptions& eopts)
         : keys(&k), options(popts), ctx(g, k, eopts) {}
 
+    // Patch: incremental rebuild sharing untouched state with `prev`.
+    Rep(const EmContext& prev, const KeySet& k, const PlanOptions& popts,
+        std::span<const NodeId> dirty_nodes, ContextPatchInfo* info)
+        : keys(&k), options(popts), ctx(prev, dirty_nodes, info) {}
+
     const KeySet* keys;
     PlanOptions options;
     EmContext ctx;
     std::optional<ProductGraph> pg;
     double compile_seconds = 0.0;
-    size_t memory_bytes = 0;
+    // Lazily computed by memory_bytes(); 0 = not yet computed
+    // (recomputation is idempotent, so the benign race is harmless).
+    mutable std::atomic<size_t> memory_bytes{0};
+    bool patched = false;
+    std::vector<uint32_t> dirty_candidates;
+    ContextPatchInfo patch_info;
   };
 
   explicit MatchPlan(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}

@@ -58,4 +58,51 @@ StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
   return r;
 }
 
+StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
+                                               const MatchResult& prev,
+                                               const GraphDelta& delta,
+                                               MatchSink* sink) const {
+  GKEYS_RETURN_IF_ERROR(Validate(plan));
+  if (delta.has_removals()) {
+    // The chase is monotone only under additions: a removed triple can
+    // invalidate previous derivations, so the seed would be unsound.
+    // The patched plan is still exact for the post-delta graph — run it
+    // in full.
+    return RunWithSink(plan, sink);
+  }
+  RematchSeed seed;
+  seed.prev_pairs = prev.pairs;
+  std::vector<uint32_t> all;
+  if (plan.patched()) {
+    seed.active = plan.dirty_candidates();
+  } else {
+    // A freshly compiled plan carries no dirty set: seed Eq but re-check
+    // every candidate (still skips work — seeded pairs are never
+    // re-derived).
+    all.resize(plan.context().candidates().size());
+    for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+    seed.active = all;
+  }
+  StatusOr<MatchResult> r = [&]() -> StatusOr<MatchResult> {
+    switch (algorithm_) {
+      case Algorithm::kNaiveChase:
+        return RunChase(plan.context(), ChaseOptions{}, options_.use_vf2,
+                        sink, &seed);
+      case Algorithm::kEmMr:
+      case Algorithm::kEmVf2Mr:
+      case Algorithm::kEmOptMr:
+        return RunEmMapReduce(plan.context(), options_, sink, &seed);
+      case Algorithm::kEmVc:
+      case Algorithm::kEmOptVc:
+        return RunEmVertexCentric(plan.context(), plan.product_graph(),
+                                  options_, sink, &seed);
+    }
+    return Status::InvalidArgument("unknown algorithm");
+  }();
+  if (!r.ok()) return r;
+  r->stats.prep_seconds = plan.compile_seconds();
+  r->stats.plan_bytes = plan.memory_bytes();
+  return r;
+}
+
 }  // namespace gkeys

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "core/em_common.h"
 #include "core/match_plan.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 #include "keys/key.h"
 
@@ -117,10 +118,46 @@ class Matcher {
     return RunWithSink(plan, &sink);
   }
 
+  /// Incremental re-run after a graph delta. `plan` is the PATCHED plan
+  /// (prev_plan.Patch(delta) after Graph::Apply(delta)); `prev` is the
+  /// result of the previous run on the pre-delta graph. For an additive
+  /// delta the fixpoint is seeded from `prev` and only the plan's dirty
+  /// candidates are re-checked (the dependency/ghost machinery cascades
+  /// into clean pairs new merges enable) — identification is monotone in
+  /// G, so the result is byte-identical to a from-scratch Run on the
+  /// post-delta graph. When the delta removed triples, previous
+  /// derivations may no longer hold and Rematch transparently falls back
+  /// to a full (unseeded) run of the patched plan; the result is still
+  /// exact.
+  ///
+  /// The returned result is complete (prev pairs included), with
+  /// prep_seconds = the PATCH cost of `plan`.
+  StatusOr<MatchResult> Rematch(const MatchPlan& plan,
+                                const MatchResult& prev,
+                                const GraphDelta& delta) const {
+    return RematchWithSink(plan, prev, delta, nullptr);
+  }
+
+  /// Streaming rematch: the sink sees exactly the DELTA — pairs beyond
+  /// `prev` — each exactly once (exactly-once across the whole plan
+  /// lifetime when the same sink outlives successive rematches). Under
+  /// the removal fallback the stream restarts: every pair of the new
+  /// result is emitted.
+  StatusOr<MatchResult> Rematch(const MatchPlan& plan,
+                                const MatchResult& prev,
+                                const GraphDelta& delta,
+                                MatchSink& sink) const {
+    return RematchWithSink(plan, prev, delta, &sink);
+  }
+
  private:
   Status Validate(const MatchPlan& plan) const;
   StatusOr<MatchResult> RunWithSink(const MatchPlan& plan,
                                     MatchSink* sink) const;
+  StatusOr<MatchResult> RematchWithSink(const MatchPlan& plan,
+                                        const MatchResult& prev,
+                                        const GraphDelta& delta,
+                                        MatchSink* sink) const;
 
   Algorithm algorithm_ = Algorithm::kEmOptVc;
   EmOptions options_;

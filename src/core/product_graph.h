@@ -2,6 +2,8 @@
 #define GKEYS_CORE_PRODUCT_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -61,6 +63,25 @@ class ProductGraph {
 
  private:
   friend ProductGraph BuildProductGraph(const EmContext& ctx);
+  friend ProductGraph PatchProductGraph(
+      const ProductGraph& prev, const EmContext& ctx,
+      const std::vector<int64_t>& candidate_reuse,
+      std::span<const NodeId> graph_dirty);
+
+  using Relation = std::vector<uint64_t>;
+
+  /// Interns the product node for a packed pair and bumps its
+  /// supporting-relation count (shared by the full and patched builds).
+  static void AddNodeRef(ProductGraph& pg, uint64_t packed);
+
+  /// Resolves candidate_nodes_ from the per-candidate relations (a
+  /// nonempty relation always contains the candidate pair itself).
+  static void ResolveCandidateNodes(const EmContext& ctx, ProductGraph& pg);
+
+  /// Resolves candidate_nodes_ and runs the full edge pass (tail of the
+  /// from-scratch build; the patched build has its own incremental edge
+  /// pass).
+  static void Finish(const EmContext& ctx, ProductGraph& pg);
 
   std::vector<std::pair<NodeId, NodeId>> nodes_;
   std::unordered_map<uint64_t, uint32_t> index_;
@@ -69,12 +90,35 @@ class ProductGraph {
   std::vector<uint32_t> candidate_nodes_;
   std::vector<std::unordered_map<Symbol, uint32_t>> out_count_;
   std::vector<std::unordered_map<Symbol, uint32_t>> in_count_;
+  // Per candidate, its union-over-keys pairing relation as packed pairs
+  // (the node-discovery phase's raw output), shared across plan
+  // generations. PatchProductGraph re-shares carried-over candidates'
+  // relations instead of re-running their pairing fixpoints.
+  std::vector<std::shared_ptr<const Relation>> candidate_pairs_;
+  // Per product node: how many candidate relations contain it. Lets a
+  // patch retire the contributions of dropped/re-paired candidates and
+  // keep only supported nodes, without rediscovering Vp from scratch.
+  std::vector<uint32_t> node_refs_;
   size_t num_edges_ = 0;
 };
 
 /// Builds Gp from the context's candidates by re-running the pairing
 /// fixpoint per (candidate, key) and collecting every surviving pair.
 ProductGraph BuildProductGraph(const EmContext& ctx);
+
+/// Incremental rebuild for a patched context: candidates carried over
+/// from the source plan (candidate_reuse[i] >= 0) re-share their cached
+/// pairing relations from `prev`; only the dirty candidates re-run the
+/// pairing fixpoint, and retired contributions are reference-counted
+/// away. The edge pass recomputes only product nodes that are new or
+/// touch a graph node in `graph_dirty` (the delta's touched set); every
+/// other node's adjacency is copied from `prev` and extended with edges
+/// into the new nodes. Product-node ids may differ from a from-scratch
+/// build; Gp semantics do not depend on them.
+ProductGraph PatchProductGraph(const ProductGraph& prev,
+                               const EmContext& ctx,
+                               const std::vector<int64_t>& candidate_reuse,
+                               std::span<const NodeId> graph_dirty);
 
 }  // namespace gkeys
 

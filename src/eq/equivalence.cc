@@ -35,16 +35,23 @@ bool EquivalenceRelation::Union(NodeId a, NodeId b) {
 
 std::vector<std::vector<NodeId>> EquivalenceRelation::NontrivialClasses()
     const {
-  std::unordered_map<NodeId, std::vector<NodeId>> groups;
-  for (NodeId n = 0; n < parent_.size(); ++n) {
-    groups[Find(n)].push_back(n);
-  }
+  // Two counting passes instead of a hash-of-vectors over every node:
+  // nodes in singleton classes (almost all of them) never allocate.
+  std::vector<uint32_t> count(parent_.size(), 0);
+  for (NodeId n = 0; n < parent_.size(); ++n) ++count[Find(n)];
+  constexpr uint32_t kNoClass = UINT32_MAX;
+  std::vector<uint32_t> slot(parent_.size(), kNoClass);
   std::vector<std::vector<NodeId>> classes;
-  for (auto& [root, members] : groups) {
-    if (members.size() > 1) {
-      std::sort(members.begin(), members.end());
-      classes.push_back(std::move(members));
+  for (NodeId n = 0; n < parent_.size(); ++n) {
+    NodeId root = Find(n);
+    if (count[root] < 2) continue;
+    if (slot[root] == kNoClass) {
+      slot[root] = static_cast<uint32_t>(classes.size());
+      classes.emplace_back();
+      classes.back().reserve(count[root]);
     }
+    // Ascending n keeps every class sorted.
+    classes[slot[root]].push_back(n);
   }
   std::sort(classes.begin(), classes.end());
   return classes;

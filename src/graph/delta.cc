@@ -1,0 +1,67 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+
+namespace gkeys {
+
+NodeId GraphDelta::AddEntity(std::string_view type) {
+  NodeId id = static_cast<NodeId>(base_nodes_ + new_nodes_.size());
+  new_nodes_.push_back(NewNode{NodeKind::kEntity, std::string(type)});
+  return id;
+}
+
+NodeId GraphDelta::AddValue(std::string_view literal) {
+  NodeId existing = base_->FindValue(literal);
+  if (existing != kNoNode) return existing;
+  auto it = staged_values_.find(std::string(literal));
+  if (it != staged_values_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(base_nodes_ + new_nodes_.size());
+  new_nodes_.push_back(NewNode{NodeKind::kValue, std::string(literal)});
+  staged_values_.emplace(std::string(literal), id);
+  return id;
+}
+
+Status GraphDelta::AddTriple(NodeId s, std::string_view p, NodeId o) {
+  if (!Known(s) || !Known(o)) {
+    return Status::InvalidArgument(
+        "GraphDelta::AddTriple: node id out of range (neither a base node "
+        "nor staged by this delta)");
+  }
+  if (!IsEntityNode(s)) {
+    return Status::InvalidArgument(
+        "GraphDelta::AddTriple: subject must be an entity");
+  }
+  added_.push_back(DeltaTriple{s, std::string(p), o});
+  return Status::OK();
+}
+
+Status GraphDelta::RemoveTriple(NodeId s, std::string_view p, NodeId o) {
+  if (s >= base_nodes_ || o >= base_nodes_) {
+    return Status::InvalidArgument(
+        "GraphDelta::RemoveTriple: removals must reference base-graph "
+        "nodes");
+  }
+  removed_.push_back(DeltaTriple{s, std::string(p), o});
+  return Status::OK();
+}
+
+std::vector<NodeId> GraphDelta::TouchedNodes() const {
+  std::vector<NodeId> touched;
+  touched.reserve(new_nodes_.size() + 2 * (added_.size() + removed_.size()));
+  for (size_t i = 0; i < new_nodes_.size(); ++i) {
+    touched.push_back(static_cast<NodeId>(base_nodes_ + i));
+  }
+  for (const DeltaTriple& t : added_) {
+    touched.push_back(t.subject);
+    touched.push_back(t.object);
+  }
+  for (const DeltaTriple& t : removed_) {
+    touched.push_back(t.subject);
+    touched.push_back(t.object);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+}  // namespace gkeys

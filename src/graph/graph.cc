@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "graph/delta.h"
+
 namespace gkeys {
 
 NodeId Graph::AddEntity(Symbol type) {
-  if (finalized_) Thaw();
   NodeId id = static_cast<NodeId>(kinds_.size());
   kinds_.push_back(NodeKind::kEntity);
   labels_.push_back(type);
-  out_build_.emplace_back();
-  in_build_.emplace_back();
+  if (!csr_built_) {
+    out_build_.emplace_back();
+    in_build_.emplace_back();
+  } else {
+    TouchNewNode(id);
+  }
   by_type_[type].push_back(id);
   ++num_entities_;
   return id;
@@ -20,14 +25,38 @@ NodeId Graph::AddValue(std::string_view value) {
   Symbol sym = interner_.Intern(value);
   auto it = value_nodes_.find(sym);
   if (it != value_nodes_.end()) return it->second;
-  if (finalized_) Thaw();
   NodeId id = static_cast<NodeId>(kinds_.size());
   kinds_.push_back(NodeKind::kValue);
   labels_.push_back(sym);
-  out_build_.emplace_back();
-  in_build_.emplace_back();
+  if (!csr_built_) {
+    out_build_.emplace_back();
+    in_build_.emplace_back();
+  } else {
+    TouchNewNode(id);
+  }
   value_nodes_.emplace(sym, id);
   return id;
+}
+
+void Graph::TouchNewNode(NodeId n) {
+  finalized_ = false;
+  dirty_nodes_.push_back(n);
+}
+
+std::vector<Edge>& Graph::ThawNode(
+    std::unordered_map<NodeId, std::vector<Edge>>& overlay,
+    const std::vector<size_t>& offsets, const std::vector<Edge>& edges,
+    NodeId n) {
+  finalized_ = false;
+  auto [it, inserted] = overlay.try_emplace(n);
+  if (inserted) {
+    dirty_nodes_.push_back(n);
+    if (n < csr_nodes_) {
+      it->second.assign(edges.begin() + offsets[n],
+                        edges.begin() + offsets[n + 1]);
+    }
+  }
+  return it->second;
 }
 
 Status Graph::AddTriple(NodeId s, Symbol p, NodeId o) {
@@ -37,56 +66,157 @@ Status Graph::AddTriple(NodeId s, Symbol p, NodeId o) {
   if (!IsEntity(s)) {
     return Status::InvalidArgument("AddTriple: subject must be an entity");
   }
-  if (finalized_) Thaw();
-  out_build_[s].push_back(Edge{p, o});
-  in_build_[o].push_back(Edge{p, s});
+  if (!csr_built_) {
+    out_build_[s].push_back(Edge{p, o});
+    in_build_[o].push_back(Edge{p, s});
+  } else {
+    ThawNode(out_overlay_, out_offsets_, out_edges_, s).push_back(Edge{p, o});
+    ThawNode(in_overlay_, in_offsets_, in_edges_, o).push_back(Edge{p, s});
+  }
   ++num_triples_;
   return Status::OK();
 }
 
-void Graph::Thaw() {
-  out_build_.resize(NumNodes());
-  in_build_.resize(NumNodes());
-  for (NodeId n = 0; n < NumNodes(); ++n) {
-    auto out = Out(n);
-    out_build_[n].assign(out.begin(), out.end());
-    auto in = In(n);
-    in_build_[n].assign(in.begin(), in.end());
+Status Graph::RemoveTriple(NodeId s, Symbol p, NodeId o) {
+  if (s >= kinds_.size() || o >= kinds_.size()) {
+    return Status::InvalidArgument("RemoveTriple: node id out of range");
   }
-  out_offsets_.clear();
-  in_offsets_.clear();
-  out_edges_.clear();
-  in_edges_.clear();
-  finalized_ = false;
+  if (!HasTriple(s, p, o)) {
+    return Status::NotFound("RemoveTriple: (" + DescribeNode(s) + ", " +
+                            interner_.Resolve(p) + ", " + DescribeNode(o) +
+                            ") is not in the graph");
+  }
+  // Duplicate adds are tracked until Finalize() dedups, so removing an
+  // edge must subtract however many copies actually existed.
+  auto erase_all = [](std::vector<Edge>& adj, const Edge& e) -> size_t {
+    size_t before = adj.size();
+    adj.erase(std::remove(adj.begin(), adj.end(), e), adj.end());
+    return before - adj.size();
+  };
+  size_t removed;
+  if (!csr_built_) {
+    removed = erase_all(out_build_[s], Edge{p, o});
+    erase_all(in_build_[o], Edge{p, s});
+  } else {
+    removed = erase_all(ThawNode(out_overlay_, out_offsets_, out_edges_, s),
+                        Edge{p, o});
+    erase_all(ThawNode(in_overlay_, in_offsets_, in_edges_, o), Edge{p, s});
+  }
+  num_triples_ -= removed;
+  return Status::OK();
 }
 
 void Graph::Finalize() {
   if (finalized_) return;
   const size_t n = NumNodes();
-  auto compact = [n](std::vector<std::vector<Edge>>& build,
-                     std::vector<size_t>& offsets,
-                     std::vector<Edge>& edges) -> size_t {
-    size_t total = 0;
-    for (auto& adj : build) {
-      std::sort(adj.begin(), adj.end());
-      adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
-      total += adj.size();
-    }
-    offsets.assign(n + 1, 0);
-    edges.clear();
-    edges.reserve(total);
-    for (size_t i = 0; i < n; ++i) {
-      offsets[i] = edges.size();
-      edges.insert(edges.end(), build[i].begin(), build[i].end());
-    }
-    offsets[n] = edges.size();
-    build.clear();
-    build.shrink_to_fit();
-    return total;
-  };
-  num_triples_ = compact(out_build_, out_offsets_, out_edges_);
-  compact(in_build_, in_offsets_, in_edges_);
+  if (!csr_built_) {
+    // First finalization: sort + dedup every per-node vector and compact.
+    auto compact = [n](std::vector<std::vector<Edge>>& build,
+                       std::vector<size_t>& offsets,
+                       std::vector<Edge>& edges) -> size_t {
+      size_t total = 0;
+      for (auto& adj : build) {
+        std::sort(adj.begin(), adj.end());
+        adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+        total += adj.size();
+      }
+      offsets.assign(n + 1, 0);
+      edges.clear();
+      edges.reserve(total);
+      for (size_t i = 0; i < n; ++i) {
+        offsets[i] = edges.size();
+        edges.insert(edges.end(), build[i].begin(), build[i].end());
+      }
+      offsets[n] = edges.size();
+      build.clear();
+      build.shrink_to_fit();
+      return total;
+    };
+    num_triples_ = compact(out_build_, out_offsets_, out_edges_);
+    compact(in_build_, in_offsets_, in_edges_);
+  } else {
+    // Re-finalization after per-node thaws: sort + dedup only the dirty
+    // overlays, then splice them into fresh flat arrays while untouched
+    // runs are block-copied from the old CSR (no re-sort).
+    auto merge = [this, n](std::unordered_map<NodeId, std::vector<Edge>>&
+                               overlay,
+                           std::vector<size_t>& offsets,
+                           std::vector<Edge>& edges) -> size_t {
+      size_t total = 0;
+      for (auto& [node, adj] : overlay) {
+        std::sort(adj.begin(), adj.end());
+        adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+        total += adj.size();
+      }
+      for (NodeId i = 0; i < csr_nodes_; ++i) {
+        if (overlay.find(i) == overlay.end()) {
+          total += offsets[i + 1] - offsets[i];
+        }
+      }
+      std::vector<size_t> new_offsets(n + 1, 0);
+      std::vector<Edge> new_edges;
+      new_edges.reserve(total);
+      for (NodeId i = 0; i < n; ++i) {
+        new_offsets[i] = new_edges.size();
+        auto it = overlay.find(i);
+        if (it != overlay.end()) {
+          new_edges.insert(new_edges.end(), it->second.begin(),
+                           it->second.end());
+        } else if (i < csr_nodes_) {
+          new_edges.insert(new_edges.end(), edges.begin() + offsets[i],
+                           edges.begin() + offsets[i + 1]);
+        }
+      }
+      new_offsets[n] = new_edges.size();
+      offsets = std::move(new_offsets);
+      edges = std::move(new_edges);
+      overlay.clear();
+      return total;
+    };
+    num_triples_ = merge(out_overlay_, out_offsets_, out_edges_);
+    merge(in_overlay_, in_offsets_, in_edges_);
+  }
+  dirty_nodes_.clear();
+  csr_nodes_ = n;
+  csr_built_ = true;
   finalized_ = true;
+}
+
+std::vector<NodeId> Graph::DirtyNodes() const {
+  std::vector<NodeId> dirty = dirty_nodes_;
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
+}
+
+StatusOr<std::vector<NodeId>> Graph::Apply(const GraphDelta& delta) {
+  if (delta.base_nodes() != NumNodes()) {
+    return Status::InvalidArgument(
+        "Graph::Apply: delta was staged against a graph with " +
+        std::to_string(delta.base_nodes()) + " nodes, this graph has " +
+        std::to_string(NumNodes()));
+  }
+  // Materialize staged nodes in staging order so their NodeIds come out
+  // exactly as GraphDelta handed them to the caller.
+  for (const GraphDelta::NewNode& nn : delta.new_nodes()) {
+    NodeId id = nn.kind == NodeKind::kEntity ? AddEntity(nn.label)
+                                             : AddValue(nn.label);
+    (void)id;
+  }
+  for (const GraphDelta::DeltaTriple& t : delta.added()) {
+    GKEYS_RETURN_IF_ERROR(AddTriple(t.subject, t.pred, t.object));
+  }
+  for (const GraphDelta::DeltaTriple& t : delta.removed()) {
+    Symbol p = interner_.Lookup(t.pred);
+    if (p == kNoSymbol) {
+      return Status::NotFound("Graph::Apply: removed predicate '" + t.pred +
+                              "' never occurs in the graph");
+    }
+    GKEYS_RETURN_IF_ERROR(RemoveTriple(t.subject, p, t.object));
+  }
+  std::vector<NodeId> dirty = DirtyNodes();
+  Finalize();
+  return dirty;
 }
 
 bool Graph::HasTriple(NodeId s, Symbol p, NodeId o) const {
@@ -132,6 +262,12 @@ size_t Graph::AdjacencyBytes() const {
                      sizeof(size_t);
   for (const auto& adj : out_build_) bytes += adj.capacity() * sizeof(Edge);
   for (const auto& adj : in_build_) bytes += adj.capacity() * sizeof(Edge);
+  for (const auto& [node, adj] : out_overlay_) {
+    bytes += adj.capacity() * sizeof(Edge);
+  }
+  for (const auto& [node, adj] : in_overlay_) {
+    bytes += adj.capacity() * sizeof(Edge);
+  }
   return bytes;
 }
 

@@ -49,6 +49,8 @@ struct Triple {
   }
 };
 
+class GraphDelta;
+
 /// A directed edge-labeled graph over triples (paper §2.1).
 ///
 /// Construction: AddEntity / AddValue / AddTriple, then Finalize() once.
@@ -57,9 +59,16 @@ struct Triple {
 /// direction — so the BFS / pairing / isomorphism inner loops scan
 /// cache-line-contiguous memory instead of chasing one heap allocation
 /// per node. The std::span accessors are representation-agnostic:
-/// consumers are identical before and after finalization. Mutating a
-/// finalized graph transparently thaws it back to adjacency-list form
-/// (rare; only tests and incremental loaders do this).
+/// consumers are identical before and after finalization.
+///
+/// Mutating a finalized graph thaws only the touched nodes: their
+/// adjacency is copied out of the CSR into a per-node overlay and edited
+/// there, while every other node keeps serving straight from the CSR.
+/// The next Finalize() merges the overlays back — sorting only the dirty
+/// runs and block-copying the untouched ones — instead of re-sorting the
+/// whole edge array. The set of touched nodes is recorded (DirtyNodes())
+/// so incremental consumers (MatchPlan::Patch) can recompile exactly the
+/// affected region.
 ///
 /// Strings (types, predicates, values) are interned in a per-graph
 /// StringInterner so they compare by integer.
@@ -93,10 +102,35 @@ class Graph {
     return AddTriple(s, Intern(p), o);
   }
 
+  /// Removes triple (s, p, o); NotFound if it is not present. On a
+  /// finalized graph only the two endpoints thaw (see class comment).
+  Status RemoveTriple(NodeId s, Symbol p, NodeId o);
+  Status RemoveTriple(NodeId s, std::string_view p, NodeId o) {
+    return RemoveTriple(s, Intern(p), o);
+  }
+
   /// Sorts and deduplicates adjacency and freezes it into CSR arrays.
+  /// After post-finalize mutations, merges only the dirty nodes' runs
+  /// back into the CSR (untouched runs are block-copied, not re-sorted).
   /// Idempotent.
   void Finalize();
   bool finalized() const { return finalized_; }
+
+  /// Nodes whose adjacency changed (or that were added) since the last
+  /// Finalize(), sorted ascending. Empty right after Finalize().
+  std::vector<NodeId> DirtyNodes() const;
+
+  /// Applies `delta` (built against this graph via GraphDelta's staging
+  /// API) and re-finalizes: new entities/values are materialized with
+  /// exactly the NodeIds the delta staged, triples are added/removed
+  /// through the per-node thaw path, and the CSR is merge-rebuilt.
+  /// Returns the sorted dirty node set (endpoints of every added/removed
+  /// triple plus all new nodes) — the input MatchPlan::Patch consumes.
+  /// Errors: InvalidArgument when the delta was staged against a graph
+  /// with a different node count; NotFound when a removed triple is
+  /// absent (the graph may then be left unfinalized with a prefix of the
+  /// delta applied).
+  StatusOr<std::vector<NodeId>> Apply(const GraphDelta& delta);
 
   // ---- Queries ----
 
@@ -125,14 +159,24 @@ class Graph {
 
   /// Outgoing / incoming labeled edges of a node (sorted after Finalize()).
   std::span<const Edge> Out(NodeId n) const {
-    if (finalized_) {
+    if (csr_built_) {
+      if (!out_overlay_.empty()) {
+        auto it = out_overlay_.find(n);
+        if (it != out_overlay_.end()) return it->second;
+      }
+      if (n >= csr_nodes_) return {};
       return {out_edges_.data() + out_offsets_[n],
               out_offsets_[n + 1] - out_offsets_[n]};
     }
     return out_build_[n];
   }
   std::span<const Edge> In(NodeId n) const {
-    if (finalized_) {
+    if (csr_built_) {
+      if (!in_overlay_.empty()) {
+        auto it = in_overlay_.find(n);
+        if (it != in_overlay_.end()) return it->second;
+      }
+      if (n >= csr_nodes_) return {};
       return {in_edges_.data() + in_offsets_[n],
               in_offsets_[n + 1] - in_offsets_[n]};
     }
@@ -173,15 +217,21 @@ class Graph {
   size_t AdjacencyBytes() const;
 
  private:
-  /// Rebuilds the per-node adjacency vectors from the CSR arrays so a
-  /// finalized graph can be mutated again.
-  void Thaw();
+  /// Thaws node `n` only: copies its CSR run into the overlay (first
+  /// mutation after Finalize) and returns the editable vector. Marks the
+  /// graph unfinalized and records n as dirty.
+  std::vector<Edge>& ThawNode(std::unordered_map<NodeId, std::vector<Edge>>&
+                                  overlay,
+                              const std::vector<size_t>& offsets,
+                              const std::vector<Edge>& edges, NodeId n);
+  /// Registers a brand-new node added after finalization.
+  void TouchNewNode(NodeId n);
 
   StringInterner interner_;
   std::vector<NodeKind> kinds_;
   // Entity type symbol for entities; literal symbol for values.
   std::vector<Symbol> labels_;
-  // Construction-time adjacency; emptied by Finalize().
+  // Construction-time adjacency; emptied by the first Finalize().
   std::vector<std::vector<Edge>> out_build_;
   std::vector<std::vector<Edge>> in_build_;
   // Finalized CSR adjacency: edges of node n live at
@@ -190,10 +240,23 @@ class Graph {
   std::vector<size_t> in_offsets_;
   std::vector<Edge> out_edges_;
   std::vector<Edge> in_edges_;
+  // Per-node thaw: dirty nodes' true adjacency while the CSR is stale for
+  // them. Emptied by Finalize()'s merge pass.
+  std::unordered_map<NodeId, std::vector<Edge>> out_overlay_;
+  std::unordered_map<NodeId, std::vector<Edge>> in_overlay_;
+  // Nodes touched since the last Finalize (may contain duplicates until
+  // DirtyNodes() sorts them).
+  std::vector<NodeId> dirty_nodes_;
   std::unordered_map<Symbol, NodeId> value_nodes_;
   std::unordered_map<Symbol, std::vector<NodeId>> by_type_;
   size_t num_entities_ = 0;
   size_t num_triples_ = 0;
+  // Node count the CSR offset arrays cover (nodes added later have no run
+  // yet and live entirely in the overlay).
+  size_t csr_nodes_ = 0;
+  // CSR arrays exist (the graph was finalized at least once).
+  bool csr_built_ = false;
+  // No pending mutations AND the CSR is current.
   bool finalized_ = false;
 };
 

@@ -88,6 +88,12 @@ std::string SerializeGraph(const Graph& g) {
 }
 
 StatusOr<Graph> DeserializeGraph(std::string_view text) {
+  auto loaded = DeserializeGraphWithNames(text);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->graph);
+}
+
+StatusOr<LoadedGraph> DeserializeGraphWithNames(std::string_view text) {
   Graph g;
   std::unordered_map<std::string, NodeId> entities;
   int line_no = 0;
@@ -122,7 +128,7 @@ StatusOr<Graph> DeserializeGraph(std::string_view text) {
     GKEYS_RETURN_IF_ERROR(g.AddTriple(*s, pred, *o));
   }
   g.Finalize();
-  return g;
+  return LoadedGraph{std::move(g), std::move(entities)};
 }
 
 Status SaveGraph(const Graph& g, const std::string& path) {
@@ -134,11 +140,120 @@ Status SaveGraph(const Graph& g, const std::string& path) {
 }
 
 StatusOr<Graph> LoadGraph(const std::string& path) {
-  std::ifstream in(path);
+  auto loaded = LoadGraphWithNames(path);
+  if (!loaded.ok()) return loaded.status();
+  return std::move(loaded->graph);
+}
+
+StatusOr<LoadedGraph> LoadGraphWithNames(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return DeserializeGraphWithNames(*text);
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return DeserializeGraph(buf.str());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buf.str();
+}
+
+StatusOr<GraphDelta> ParseDelta(std::string_view text,
+                                const LoadedGraph& lg) {
+  const Graph& g = lg.graph;
+  GraphDelta delta(g);
+  // Entity tokens resolve by identity against the loader's table, plus
+  // whatever this delta stages — NEVER by re-deriving ids from the
+  // graph, which would re-bind tokens differently than the graph file
+  // they came from.
+  std::unordered_map<std::string, NodeId> entities = lg.entities;
+
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++line_no;
+    auto err = [line_no](std::string msg) {
+      return Status::InvalidArgument("delta line " + std::to_string(line_no) +
+                                     ": " + std::move(msg));
+    };
+    if (line.empty() || line[0] == '#') continue;
+    if (line.size() < 2 || (line[0] != '+' && line[0] != '-') ||
+        line[1] != ' ') {
+      return err("expected '+ <triple>' or '- <triple>'");
+    }
+    bool adding = line[0] == '+';
+    std::string_view body = line.substr(2);
+    size_t sp1 = body.find(' ');
+    size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                               : body.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos) {
+      return err("expected 3 fields: subject predicate object");
+    }
+    std::string_view subj = body.substr(0, sp1);
+    std::string_view pred = body.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string_view obj = body.substr(sp2 + 1);
+    if (pred.empty()) return err("empty predicate");
+
+    auto resolve = [&](std::string_view token,
+                       bool allow_new) -> StatusOr<NodeId> {
+      if (token.rfind("val:\"", 0) == 0) {
+        if (token.size() < 6 || token.back() != '"') {
+          return err("malformed value literal '" + std::string(token) + "'");
+        }
+        std::string_view raw = token.substr(5, token.size() - 6);
+        std::string literal;
+        for (size_t i = 0; i < raw.size(); ++i) {
+          if (raw[i] == '\\' && i + 1 < raw.size()) ++i;
+          literal.push_back(raw[i]);
+        }
+        if (!allow_new) {
+          NodeId v = g.FindValue(literal);
+          if (v == kNoNode) {
+            return err("removal references unknown value \"" + literal +
+                       "\"");
+          }
+          return v;
+        }
+        return delta.AddValue(literal);
+      }
+      if (token.rfind("ent:", 0) != 0) {
+        return err("node reference must start with ent: or val:, got '" +
+                   std::string(token) + "'");
+      }
+      size_t colon = token.rfind(':');
+      if (colon <= 4 || colon + 1 >= token.size()) {
+        return err("entity reference needs a type and an id");
+      }
+      std::string key(token);
+      auto it = entities.find(key);
+      if (it != entities.end()) return it->second;
+      if (!allow_new) {
+        return err("removal references unknown entity " + key);
+      }
+      std::string type(token.substr(4, colon - 4));
+      NodeId id = delta.AddEntity(type);
+      entities.emplace(std::move(key), id);
+      return id;
+    };
+
+    auto s = resolve(subj, adding);
+    if (!s.ok()) return s.status();
+    auto o = resolve(obj, adding);
+    if (!o.ok()) return o.status();
+    Status st = adding ? delta.AddTriple(*s, pred, *o)
+                       : delta.RemoveTriple(*s, pred, *o);
+    if (!st.ok()) {
+      return Status::InvalidArgument("delta line " + std::to_string(line_no) +
+                                     ": " + st.message());
+    }
+  }
+  return delta;
 }
 
 }  // namespace gkeys

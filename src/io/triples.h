@@ -3,8 +3,10 @@
 
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/status.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 
 namespace gkeys {
@@ -24,9 +26,43 @@ std::string SerializeGraph(const Graph& g);
 /// Parses the format above into a finalized graph.
 StatusOr<Graph> DeserializeGraph(std::string_view text);
 
+/// A loaded graph together with the entity-reference table: every
+/// `ent:<type>:<id>` token of the source text mapped to the NodeId it
+/// was materialized as. Deltas resolve entity references through this
+/// table (token identity — exactly how DeserializeGraph bound them),
+/// never by re-deriving ids from the graph.
+struct LoadedGraph {
+  Graph graph;
+  std::unordered_map<std::string, NodeId> entities;
+};
+
+/// Like DeserializeGraph, but keeps the entity-reference table so deltas
+/// can be parsed against the result.
+StatusOr<LoadedGraph> DeserializeGraphWithNames(std::string_view text);
+
 /// File convenience wrappers.
 Status SaveGraph(const Graph& g, const std::string& path);
 StatusOr<Graph> LoadGraph(const std::string& path);
+StatusOr<LoadedGraph> LoadGraphWithNames(const std::string& path);
+
+/// Slurps a whole file (keys DSL, delta files, …). IoError on open or
+/// read failure.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Parses a delta file against a loaded graph (gkeys match --delta). One
+/// op per line:
+///
+///     + ent:<type>:<id> <predicate> ent:<type>:<id>
+///     + ent:<type>:<id> <predicate> val:"literal"
+///     - ent:<type>:<id> <predicate> val:"literal"
+///
+/// Entity references resolve by token identity against `lg.entities` —
+/// the same binding DeserializeGraph used for the graph file itself. An
+/// addition referencing an UNSEEN `ent:` token stages a fresh entity of
+/// that type (ids are free-form strings, as in graph files); removals
+/// must reference known nodes. Blank lines and `#` comments are
+/// skipped. Malformed lines are InvalidArgument naming the line number.
+StatusOr<GraphDelta> ParseDelta(std::string_view text, const LoadedGraph& lg);
 
 }  // namespace gkeys
 

@@ -66,6 +66,14 @@ class Engine {
                const Handler& handler) {
     handler_ = &handler;
     for (const auto& [v, m] : seeds) Post(v, Message(m));
+    if (shards_.size() == 1) {
+      // Single worker: drain on the calling thread. Spawning (and
+      // joining) a std::thread costs ~100µs — real money for the
+      // sub-millisecond incremental rematch runs.
+      WorkerLoop(0);
+      handler_ = nullptr;
+      return processed_.load(std::memory_order_relaxed);
+    }
     std::vector<std::thread> workers;
     workers.reserve(shards_.size());
     for (size_t w = 0; w < shards_.size(); ++w) {
