@@ -1,11 +1,19 @@
 // Incremental re-matching amortization: Graph::Apply + MatchPlan::Patch +
 // Matcher::Rematch versus a from-scratch Compile + Run on the post-delta
-// graph, across delta sizes (0.1%, 1%, 10% of edges) on the three
-// evaluation datasets. The held-out-edges methodology: generate the full
-// dataset, withhold a random delta-sized slice of its triples, compile
-// and run on the remainder, then stream the slice back in as the delta.
-// Counters report both absolute times and the speedup; results are
-// verified byte-identical against the from-scratch run.
+// graph, across delta sizes (0.1%, 1%, 10% of edges) and delta kinds on
+// the three evaluation datasets:
+//   add — the held-out-edges methodology: generate the full dataset,
+//         withhold a random delta-sized slice of its triples, compile and
+//         run on the remainder, then stream the slice back in;
+//   del — compile and run on the FULL dataset, then remove a random
+//         delta-sized slice (exercises provenance retraction + seeding);
+//   mix — withhold half the slice, re-add it while removing the other
+//         half from the present triples.
+// Rematch runs in the default kAuto mode; the rows record whether the
+// cost model seeded or fell back (seeded / fallback / retracted), so the
+// artifact also documents the model's choices. Counters report absolute
+// times and the speedup; results are verified byte-identical against the
+// from-scratch run.
 
 #include "bench_util.h"
 
@@ -38,6 +46,18 @@ Graph RebuildWithout(const Graph& src, const std::vector<Triple>& triples,
   return g;
 }
 
+/// Which way the benchmark's delta mutates the base graph.
+enum class DeltaKind { kAdd, kRemove, kMixed };
+
+const char* DeltaKindName(DeltaKind k) {
+  switch (k) {
+    case DeltaKind::kAdd: return "add";
+    case DeltaKind::kRemove: return "del";
+    case DeltaKind::kMixed: return "mix";
+  }
+  return "?";
+}
+
 void RegisterAll() {
   for (Algorithm algo : {Algorithm::kEmOptVc, Algorithm::kEmOptMr}) {
   for (Dataset ds :
@@ -46,14 +66,17 @@ void RegisterAll() {
     // asymptotics — full compile grows superlinearly with the graph
     // while patch + rematch stay proportional to the delta's region.
     for (double scale : {1.0, 4.0}) {
+      for (DeltaKind kind :
+           {DeltaKind::kAdd, DeltaKind::kRemove, DeltaKind::kMixed}) {
       for (double frac : {0.001, 0.01, 0.1}) {
         std::string name = "Incremental/" + AlgorithmName(algo) + "/" +
                            DatasetName(ds) + "/x" +
-                           std::to_string(static_cast<int>(scale)) +
-                           "/delta_" + std::to_string(frac);
+                           std::to_string(static_cast<int>(scale)) + "/" +
+                           DeltaKindName(kind) + "_" +
+                           std::to_string(frac);
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [ds, frac, name, algo, scale](benchmark::State& state) {
+            [ds, frac, name, algo, scale, kind](benchmark::State& state) {
               SyntheticDataset data = MakeDataset(ds, scale);
             std::vector<Triple> triples;
             data.graph.ForEachTriple(
@@ -61,11 +84,25 @@ void RegisterAll() {
             const size_t delta_size = std::max<size_t>(
                 1, static_cast<size_t>(frac * triples.size()));
             Rng rng(42);
+            // `held` triples stay out of the base graph (re-added by the
+            // delta); `removed` ones are present and removed by it.
+            const size_t held_count =
+                kind == DeltaKind::kAdd
+                    ? delta_size
+                    : (kind == DeltaKind::kMixed ? delta_size / 2 : 0);
             std::vector<uint8_t> held(triples.size(), 0);
-            for (size_t chosen = 0; chosen < delta_size;) {
+            for (size_t chosen = 0; chosen < held_count;) {
               size_t pick = rng.Below(triples.size());
               if (!held[pick]) {
                 held[pick] = 1;
+                ++chosen;
+              }
+            }
+            std::vector<uint8_t> removed(triples.size(), 0);
+            for (size_t chosen = 0; chosen < delta_size - held_count;) {
+              size_t pick = rng.Below(triples.size());
+              if (!held[pick] && !removed[pick]) {
+                removed[pick] = 1;
                 ++chosen;
               }
             }
@@ -73,6 +110,7 @@ void RegisterAll() {
             double patch_s = 0, rematch_s = 0, full_compile_s = 0,
                    full_run_s = 0, base_compile_s = 0;
             size_t pairs = 0, dirty = 0, reused = 0;
+            size_t seeded = 0, fallback = 0, retracted = 0;
             bool mismatch = false;
             for (auto _ : state) {
               state.PauseTiming();
@@ -93,11 +131,17 @@ void RegisterAll() {
               }
               GraphDelta delta(base);
               for (size_t i = 0; i < triples.size(); ++i) {
-                if (!held[i]) continue;
+                if (!held[i] && !removed[i]) continue;
                 const Triple& t = triples[i];
-                (void)delta.AddTriple(
-                    t.subject, data.graph.interner().Resolve(t.pred),
-                    t.object);
+                if (held[i]) {
+                  (void)delta.AddTriple(
+                      t.subject, data.graph.interner().Resolve(t.pred),
+                      t.object);
+                } else {
+                  (void)delta.RemoveTriple(
+                      t.subject, data.graph.interner().Resolve(t.pred),
+                      t.object);
+                }
               }
               state.ResumeTiming();
 
@@ -180,6 +224,9 @@ void RegisterAll() {
               pairs = rematched->pairs.size();
               dirty = patched->dirty_candidates().size();
               reused = patched->context().candidates().size() - dirty;
+              seeded = rematched->stats.rematch_seeded;
+              fallback = rematched->stats.rematch_fallback;
+              retracted = rematched->stats.derivations_retracted;
               mismatch = rematched->pairs != fresh_run->pairs;
               benchmark::DoNotOptimize(pairs);
             }
@@ -199,6 +246,9 @@ void RegisterAll() {
             state.counters["pairs"] = static_cast<double>(pairs);
             state.counters["dirty_candidates"] = static_cast<double>(dirty);
             state.counters["reused_candidates"] = static_cast<double>(reused);
+            state.counters["seeded"] = static_cast<double>(seeded);
+            state.counters["fallback"] = static_cast<double>(fallback);
+            state.counters["retracted"] = static_cast<double>(retracted);
             JsonRow(name,
                     {{"triples", static_cast<double>(triples.size())},
                      {"scale", scale},
@@ -212,10 +262,14 @@ void RegisterAll() {
                      {"speedup", inc_total > 0 ? full_total / inc_total : 0},
                      {"pairs", static_cast<double>(pairs)},
                      {"dirty_candidates", static_cast<double>(dirty)},
-                     {"reused_candidates", static_cast<double>(reused)}});
+                     {"reused_candidates", static_cast<double>(reused)},
+                     {"seeded", static_cast<double>(seeded)},
+                     {"fallback", static_cast<double>(fallback)},
+                     {"retracted", static_cast<double>(retracted)}});
           })
           ->Unit(benchmark::kMillisecond)
           ->Iterations(1);
+      }
       }
     }
   }

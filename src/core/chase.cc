@@ -58,6 +58,8 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
     }
   }
 
+  std::vector<Derivation> recorded;
+  Witness witness;
   std::vector<std::pair<NodeId, NodeId>> merges;  // this round's Unions
   std::vector<uint32_t> active = order;
   std::vector<uint32_t> next;
@@ -73,8 +75,21 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
       const Candidate& c = ctx.candidates()[idx];
       if (eq.Same(c.e1, c.e2)) continue;  // already identified (or TC)
       ++result.stats.iso_checks;
-      if (ctx.Identifies(c, view, &result.stats.search,
-                         options.unrestricted_neighbors, use_vf2)) {
+      bool found;
+      if (options.record_provenance) {
+        int fired = -1;
+        found = ctx.IdentifiesWitness(c, view, &fired, &witness,
+                                      &result.stats.search,
+                                      options.unrestricted_neighbors,
+                                      use_vf2);
+        if (found) {
+          recorded.push_back(ctx.MakeDerivation(c, fired, witness));
+        }
+      } else {
+        found = ctx.Identifies(c, view, &result.stats.search,
+                               options.unrestricted_neighbors, use_vf2);
+      }
+      if (found) {
         eq.Union(c.e1, c.e2);
         merges.emplace_back(c.e1, c.e2);
         merged_this_round.push_back(idx);
@@ -122,6 +137,8 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
     }
   }
   result.stats.run_seconds = run_timer.Seconds();
+  internal::AssembleDerivations(result, seed, options.record_provenance,
+                                std::move(recorded));
   result.pairs = eq.IdentifiedPairs();
   result.stats.confirmed = result.pairs.size();
   GKEYS_RETURN_IF_ERROR(streamer.Finish(result.pairs));

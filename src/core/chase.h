@@ -20,6 +20,9 @@ struct ChaseOptions {
   /// locality property (§4.1) guarantees the result is unchanged; tests
   /// verify exactly that.
   bool unrestricted_neighbors = false;
+  /// Record a Derivation per direct identification into
+  /// MatchResult::derivations (see EmOptions::record_provenance).
+  bool record_provenance = true;
 };
 
 /// The sequential reference implementation of chase(G, Σ) (paper §3.1):

@@ -1010,6 +1010,59 @@ bool EmContext::Identifies(const Candidate& c, const EqView& eq,
   return false;
 }
 
+bool EmContext::IdentifiesWitness(const Candidate& c, const EqView& eq,
+                                  int* key_out, Witness* witness,
+                                  SearchStats* stats, bool unrestricted,
+                                  bool use_vf2) const {
+  const NodeSet* n1 = unrestricted ? nullptr : c.nbr1;
+  const NodeSet* n2 = unrestricted ? nullptr : c.nbr2;
+  for (int ki : *c.keys) {
+    const CompiledPattern& cp = compiled_[ki].cp;
+    bool found = use_vf2
+                     ? IdentifiesByEnumeration(*g_, cp, c.e1, c.e2, eq, n1,
+                                               n2, stats, witness)
+                     : KeyIdentifiesWitness(*g_, cp, c.e1, c.e2, eq, n1, n2,
+                                            witness, stats);
+    if (found) {
+      *key_out = ki;
+      return true;
+    }
+  }
+  return false;
+}
+
+Derivation EmContext::MakeDerivation(const Candidate& c, int key,
+                                     const Witness& witness) const {
+  const CompiledPattern& cp = compiled_[key].cp;
+  Derivation d;
+  d.e1 = std::min(c.e1, c.e2);
+  d.e2 = std::max(c.e1, c.e2);
+  d.key = key;
+  for (size_t v = 0; v < cp.nodes.size(); ++v) {
+    if (static_cast<int>(v) == cp.designated) continue;
+    if (cp.nodes[v].kind != VarKind::kEntityVar) continue;
+    auto [a, b] = witness[v];
+    if (a == kNoNode || b == kNoNode || a == b) continue;
+    d.premises.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  for (const CompiledTriple& ct : cp.triples) {
+    auto [s1, s2] = witness[ct.subject];
+    auto [o1, o2] = witness[ct.object];
+    if (s1 == kNoNode || o1 == kNoNode) continue;
+    d.triples.push_back(WitnessTriple{s1, ct.pred, o1});
+    if (s2 != kNoNode && o2 != kNoNode && (s2 != s1 || o2 != o1)) {
+      d.triples.push_back(WitnessTriple{s2, ct.pred, o2});
+    }
+  }
+  std::sort(d.premises.begin(), d.premises.end());
+  d.premises.erase(std::unique(d.premises.begin(), d.premises.end()),
+                   d.premises.end());
+  std::sort(d.triples.begin(), d.triples.end());
+  d.triples.erase(std::unique(d.triples.begin(), d.triples.end()),
+                  d.triples.end());
+  return d;
+}
+
 void internal::PairStreamer::EmitPair(NodeId a, NodeId b) {
   if (a > b) std::swap(a, b);
   if (!emitted_.insert(PackPair(a, b)).second) return;

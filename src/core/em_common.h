@@ -2,9 +2,11 @@
 #define GKEYS_CORE_EM_COMMON_H_
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <tuple>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -59,6 +61,14 @@ struct EmOptions {
   int bounded_messages = 0;
   /// §5.2: prioritized propagation (highest-potential edges first).
   bool prioritized = false;
+  /// Record a Derivation (fired key, premises, witness triples) per direct
+  /// identification into MatchResult::derivations. Required for removal
+  /// deltas to be seeded by Matcher::Rematch (the provenance index is what
+  /// retraction replays); the overhead is one witness copy per successful
+  /// identification, so it stays on by default. With it off, a removal
+  /// Rematch retracts every previous pair and re-derives from scratch
+  /// (still exact, just slower).
+  bool record_provenance = true;
 
   /// Presets matching the paper's five evaluated algorithms.
   static EmOptions For(Algorithm a, int p);
@@ -80,8 +90,44 @@ struct EmStats {
   uint64_t neighbor_nodes_reduced = 0;  // after pairing reduction
   size_t plan_bytes = 0;           // approx. heap footprint of the plan
   SearchStats search;
+  // ---- Incremental re-matching accounting (Matcher::Rematch) ----------
+  size_t rematch_seeded = 0;       // 1: this run was seeded from prev
+  size_t rematch_fallback = 0;     // 1: Rematch ran the patched plan full
+  size_t derivations_retracted = 0;  // removal handling: over-deleted
   double prep_seconds = 0.0;       // DriverMR line 1 work
   double run_seconds = 0.0;        // fixpoint computation
+};
+
+/// One graph triple a witness realized. Recorded with the predicate as a
+/// graph Symbol, so validity on a mutated graph is one HasTriple probe.
+struct WitnessTriple {
+  NodeId s;
+  Symbol p;
+  NodeId o;
+  friend bool operator==(const WitnessTriple& a, const WitnessTriple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator<(const WitnessTriple& a, const WitnessTriple& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+
+/// One direct identification together with everything it depends on — a
+/// node of the paper's §3.1 proof graphs, compact enough to keep for every
+/// run. `premises` are the non-reflexive entity-variable equalities the
+/// witness consumed (each derived earlier, directly or transitively);
+/// `triples` are the graph triples the witness realized on either side.
+/// A derivation stays valid on a mutated graph iff all its triples still
+/// exist and all its premises are still derivable — exactly what
+/// RetractDerivations (core/provenance.h) replays under removal deltas.
+struct Derivation {
+  NodeId e1, e2;  // the identified pair, e1 < e2
+  /// Compiled-key index (EmContext::compiled_keys()) that fired.
+  int key = -1;
+  /// Entity-variable equalities used, each (min, max), reflexive omitted.
+  std::vector<std::pair<NodeId, NodeId>> premises;
+  /// Graph triples realized by the witness (both sides, deduplicated).
+  std::vector<WitnessTriple> triples;
 };
 
 /// The output of entity matching: chase(G, Σ).
@@ -89,6 +135,13 @@ struct MatchResult {
   /// All identified pairs (a, b), a < b, sorted — the non-reflexive part
   /// of chase(G, Σ).
   std::vector<std::pair<NodeId, NodeId>> pairs;
+  /// Per-derivation provenance index (EmOptions::record_provenance, on by
+  /// default): one entry per direct identification, in an order where
+  /// every premise is supported by earlier entries' transitive closure.
+  /// The Eq-closure of the recorded merges equals `pairs`. Feed the whole
+  /// result back into Matcher::Rematch so removal deltas can retract
+  /// exactly the derivations a removed triple invalidates.
+  std::vector<Derivation> derivations;
   EmStats stats;
 };
 
@@ -119,19 +172,33 @@ class MatchSink {
 };
 
 /// Seed for an incremental re-run (Matcher::Rematch): the engines start
-/// from the previous fixpoint instead of Eq0 and re-check only the dirty
+/// from a retained fixpoint instead of Eq0 and re-check only the active
 /// candidates, letting the existing dependency/ghost wake-up machinery
-/// cascade into clean pairs that new merges enable. Sound for additive
-/// deltas (key identification is monotone in G — adding triples never
-/// removes a match); Rematch falls back to a full run when the delta
-/// removed triples.
+/// cascade into clean pairs that new merges enable.
+///
+/// For an additive delta the retained fixpoint is the whole previous
+/// result (key identification is monotone in G — adding triples never
+/// removes a match). For a delta that removed triples, Matcher::Rematch
+/// first retracts the previous derivations a removed triple invalidates
+/// (DRed-style over-deletion, see RetractDerivations in core/provenance.h)
+/// and seeds from the surviving ones; `active` then additionally contains
+/// every candidate whose pair was retracted, so survivors of the
+/// over-deletion are re-derived by the normal fixpoint. Soundness only
+/// needs prev_pairs ⊆ chase(G', Σ); completeness needs `active` to cover
+/// every candidate whose outcome can have changed — both hold by
+/// construction, so the result stays byte-identical to a from-scratch run.
 struct RematchSeed {
-  /// The previous MatchResult's pairs: unioned into Eq up front, streamed
-  /// as already-emitted (sinks see only the delta).
+  /// The retained pairs: unioned into Eq up front, streamed as already-
+  /// emitted (sinks see only pairs beyond this seed).
   std::span<const std::pair<NodeId, NodeId>> prev_pairs;
-  /// Candidate indices to re-check initially (a patched plan's
-  /// dirty_candidates()).
+  /// Candidate indices to re-check initially: a patched plan's
+  /// dirty_candidates(), plus the retracted candidates under removals.
   std::span<const uint32_t> active;
+  /// The provenance index carried over from the previous result — every
+  /// derivation still valid on the post-delta graph. Engines prepend
+  /// these to the derivations they record, so MatchResult::derivations
+  /// stays a complete, replayable index across chained rematches.
+  std::span<const Derivation> carried;
 };
 
 namespace internal {
@@ -157,6 +224,52 @@ class MergeLog {
   std::mutex mu_;
   std::vector<std::pair<NodeId, NodeId>> log_;
 };
+
+/// Collects the Derivations an engine records during a run (a mutex-
+/// serialized append, like MergeLog — at most one entry per merged pair,
+/// so contention is negligible). The engines' record-before-Union
+/// discipline makes the log replayable: a premise can only read Same
+/// after the supporting Union, which its deriver's Record precedes, so
+/// every entry's premises are supported by earlier entries (in MR the
+/// map/reduce phase barrier gives the same chain). RetractDerivations
+/// does not RELY on that — an out-of-order entry from a future engine
+/// would merely be over-deleted and re-derived — but the current engines
+/// never produce one.
+class DerivationLog {
+ public:
+  void Record(Derivation d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back(std::move(d));
+  }
+
+  /// Moves out everything recorded so far (call once, post-fixpoint).
+  std::vector<Derivation> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::exchange(log_, {});
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Derivation> log_;
+};
+
+/// Assembles MatchResult::derivations at the end of an engine run: the
+/// seed's carried prefix (so the index stays replayable in order across
+/// chained rematches) followed by this run's recorded entries. With
+/// recording off the index stays EMPTY — a carried-only index would
+/// break the closure==pairs contract and mislead the next rematch's
+/// cost model. Shared by all three engine families so the invariant
+/// lives in one place.
+inline void AssembleDerivations(MatchResult& result, const RematchSeed* seed,
+                                bool record_provenance,
+                                std::vector<Derivation> recorded) {
+  if (seed != nullptr && record_provenance) {
+    result.derivations.assign(seed->carried.begin(), seed->carried.end());
+  }
+  result.derivations.insert(result.derivations.end(),
+                            std::make_move_iterator(recorded.begin()),
+                            std::make_move_iterator(recorded.end()));
+}
 
 /// Streams the delta of the growing Eq relation to a MatchSink,
 /// guaranteeing exactly-once emission per identified pair across rounds.
@@ -333,6 +446,22 @@ class EmContext {
   /// the combined-search and VF2-enumeration algorithm variants.
   bool Identifies(const Candidate& c, const EqView& eq, SearchStats* stats,
                   bool unrestricted, bool use_vf2) const;
+
+  /// Like Identifies, but on success also reports which compiled key
+  /// fired (`*key_out`) and its full witness vector. The engines use this
+  /// to record Derivations; the extra cost is one witness copy per
+  /// successful identification.
+  bool IdentifiesWitness(const Candidate& c, const EqView& eq, int* key_out,
+                         Witness* witness, SearchStats* stats,
+                         bool unrestricted, bool use_vf2) const;
+
+  /// Assembles the Derivation of candidate `c` identified by compiled key
+  /// `key` under `witness`: premises are the witness's non-reflexive
+  /// entity-variable pairs, triples the graph triples it realized on both
+  /// sides (deduplicated). Uninstantiated witness slots (kNoNode) are
+  /// skipped, so partial vectors from the vertex-centric walk are safe.
+  Derivation MakeDerivation(const Candidate& c, int key,
+                            const Witness& witness) const;
 
   /// Aggregate d-neighbor sizes (for the §6 reduction statistics):
   /// neighbor_nodes() sums |Gd| over the distinct candidate entities

@@ -50,6 +50,7 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
   ConcurrentEquivalence eq(g.NumNodes());
   EqView view(&eq);
   internal::MergeLog merge_log;
+  internal::DerivationLog deriv_log;
 
   // Search stats aggregated lock-free (mappers run concurrently; a mutex
   // here would serialize the map phase and destroy parallel scalability).
@@ -75,8 +76,20 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
         if (check != 0) {
           SearchStats local;
           iso_checks.fetch_add(1, std::memory_order_relaxed);
-          bool found = ctx.Identifies(c, view, &local,
-                                      /*unrestricted=*/false, opts.use_vf2);
+          bool found;
+          if (opts.record_provenance) {
+            // Recorded in map order: premises were Same under the
+            // previous rounds' Eq, whose derivations are already logged.
+            thread_local Witness witness;
+            int fired = -1;
+            found = ctx.IdentifiesWitness(c, view, &fired, &witness, &local,
+                                          /*unrestricted=*/false,
+                                          opts.use_vf2);
+            if (found) deriv_log.Record(ctx.MakeDerivation(c, fired, witness));
+          } else {
+            found = ctx.Identifies(c, view, &local,
+                                   /*unrestricted=*/false, opts.use_vf2);
+          }
           stat_expansions.fetch_add(local.expansions,
                                     std::memory_order_relaxed);
           stat_feasibility.fetch_add(local.feasibility_checks,
@@ -256,6 +269,8 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
   result.stats.search.expansions = stat_expansions.load();
   result.stats.search.feasibility_checks = stat_feasibility.load();
   result.stats.search.full_instantiations = stat_full.load();
+  internal::AssembleDerivations(result, seed, opts.record_provenance,
+                                deriv_log.Take());
   result.pairs = eq.Snapshot().IdentifiedPairs();
   result.stats.confirmed = result.pairs.size();
   GKEYS_RETURN_IF_ERROR(streamer.Finish(result.pairs));

@@ -34,6 +34,8 @@ struct VcRun {
   ConcurrentEquivalence& eq;
   // Merge log feeding the streaming sink; null on non-streaming runs.
   internal::MergeLog* merge_log;
+  // Derivation log; null when provenance recording is off.
+  internal::DerivationLog* deriv_log;
   // One flag per candidate: set once identified AND dependents notified.
   std::vector<std::atomic<uint8_t>>& flags;
   // §5.2 bounded messages: per (candidate, key-slot) fork budget used.
@@ -73,12 +75,20 @@ struct VcRun {
     }
   }
 
-  /// Marks candidate `idx` identified, merges Eq, and re-seeds dependents
-  /// whose recursive keys may now fire ("increment messages", §5.1 (6)).
-  void MarkIdentified(VcEngine::Context& vctx, uint32_t idx) {
+  /// Marks the message's origin candidate identified, merges Eq, and
+  /// re-seeds dependents whose recursive keys may now fire ("increment
+  /// messages", §5.1 (6)). `msg` is the verified message: its mapping m IS
+  /// the witness, so provenance is recorded here. The record goes into the
+  /// log before the Union so any later derivation whose premise reads this
+  /// merge finds this record already ahead of it in the replay order.
+  void MarkIdentified(VcEngine::Context& vctx, const VcMessage& msg) {
+    uint32_t idx = msg.origin;
     uint8_t expected = 0;
     if (!flags[idx].compare_exchange_strong(expected, 1)) return;
     const Candidate& c = ctx.candidates()[idx];
+    if (deriv_log != nullptr) {
+      deriv_log->Record(ctx.MakeDerivation(c, msg.key, msg.m));
+    }
     if (eq.Union(c.e1, c.e2) && merge_log != nullptr) {
       merge_log->Record(c.e1, c.e2);
     }
@@ -169,7 +179,7 @@ struct VcRun {
 
     // Verification (§5.1 (3)): the walk is complete and ended at x.
     if (msg.pos == tour.size()) {
-      MarkIdentified(vctx, msg.origin);
+      MarkIdentified(vctx, msg);
       return true;
     }
 
@@ -292,6 +302,7 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
   Timer run;
   ConcurrentEquivalence eq(g.NumNodes());
   internal::MergeLog merge_log;
+  internal::DerivationLog deriv_log;
   std::vector<std::atomic<uint8_t>> flags(candidates.size());
   for (auto& f : flags) f.store(0, std::memory_order_relaxed);
   int max_slots = 1;
@@ -302,8 +313,15 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
       opts.bounded_messages > 0 ? candidates.size() * max_slots : 1);
   for (auto& b : budget) b.store(0, std::memory_order_relaxed);
 
-  VcRun runner{ctx,   pg,     opts,   eq,       sink != nullptr ? &merge_log : nullptr,
-               flags, budget, max_slots};
+  VcRun runner{ctx,
+               pg,
+               opts,
+               eq,
+               sink != nullptr ? &merge_log : nullptr,
+               opts.record_provenance ? &deriv_log : nullptr,
+               flags,
+               budget,
+               max_slots};
 
   VcEngine engine(opts.processors);
   VcEngine::Handler handler = [&](VcEngine::Context& vctx, uint32_t vertex,
@@ -422,6 +440,8 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
   result.stats.run_seconds = run.Seconds();
   result.stats.messages = messages;
   result.stats.iso_checks = runner.inline_hops.load();
+  internal::AssembleDerivations(result, seed, opts.record_provenance,
+                                deriv_log.Take());
   result.pairs = eq.Snapshot().IdentifiedPairs();
   result.stats.confirmed = result.pairs.size();
   GKEYS_RETURN_IF_ERROR(streamer.Finish(result.pairs));

@@ -56,9 +56,18 @@ struct PlanOptions {
 /// any number of times, by any algorithm, without recompilation.
 ///
 /// A MatchPlan is a cheap, thread-safe handle (shared immutable state);
-/// copies share one compiled representation. The source Graph and KeySet
-/// are referenced, not copied — they must outlive every plan compiled
-/// from them.
+/// copies share one compiled representation, and concurrent Runs over
+/// one plan are safe because runs never mutate it. The source Graph and
+/// KeySet are referenced, not copied — they must outlive every plan
+/// compiled from them, and mutating the graph (Graph::Apply) invalidates
+/// every plan compiled against its pre-mutation state for RUNNING (patch
+/// the plan and run the patched one; the stale plan remains safe as the
+/// Patch source and for accessor reads).
+///
+/// Error contract: compilation and patching return Status instead of
+/// asserting — FailedPrecondition for sequencing mistakes (unfinalized
+/// graph; Patch before Apply), InvalidArgument for bad inputs (empty
+/// plan/key set, foreign delta, nonsensical options).
 class MatchPlan {
  public:
   /// An empty plan; running it yields InvalidArgument. Compile makes
@@ -147,6 +156,38 @@ class MatchPlan {
   /// Patch cost breakdown and reuse accounting; nullptr unless patched().
   const ContextPatchInfo* patch_info() const {
     return patched() ? &rep_->patch_info : nullptr;
+  }
+
+  // ---- Affected-region statistics (rematch cost model) ---------------
+  // A patch records how much of the plan the delta's region reached; the
+  // Matcher's RematchOptions::kAuto mode reads these to choose between a
+  // seeded rematch and a full run of the patched plan. All are safe on
+  // any plan (0 on empty / non-patched ones).
+
+  /// Keyed entities whose signatures / d-neighbors / pairing domains the
+  /// patch recompiled. Compare against context().neighbor_entities().
+  size_t num_affected_entities() const {
+    return patched() ? rep_->patch_info.affected_entities.size() : 0;
+  }
+
+  /// dirty_candidates() as a fraction of |L| — the share of the candidate
+  /// list a seeded rematch re-checks up front. 0 when nothing is dirty,
+  /// 1 when the whole plan was recompiled (or |L| == 0 while dirty).
+  double dirty_fraction() const {
+    size_t n = num_candidates();
+    size_t dirty = dirty_candidates().size();
+    if (dirty == 0) return 0.0;
+    return n == 0 ? 1.0 : static_cast<double>(dirty) / static_cast<double>(n);
+  }
+
+  /// num_affected_entities() as a fraction of the plan's keyed entities.
+  double affected_entity_fraction() const {
+    size_t affected = num_affected_entities();
+    if (affected == 0) return 0.0;
+    size_t keyed = rep_->ctx.neighbor_entities();
+    return keyed == 0 ? 1.0
+                      : static_cast<double>(affected) /
+                            static_cast<double>(keyed);
   }
 
  private:

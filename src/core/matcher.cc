@@ -1,8 +1,13 @@
 #include "core/matcher.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "core/chase.h"
 #include "core/em_mapreduce.h"
 #include "core/em_vertexcentric.h"
+#include "core/provenance.h"
+#include "eq/equivalence.h"
 
 namespace gkeys {
 
@@ -34,11 +39,13 @@ StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
   GKEYS_RETURN_IF_ERROR(Validate(plan));
   StatusOr<MatchResult> r = [&]() -> StatusOr<MatchResult> {
     switch (algorithm_) {
-      case Algorithm::kNaiveChase:
+      case Algorithm::kNaiveChase: {
         // The oracle's own loop (core/chase.cc) over the plan's context,
         // so plan-based and standalone chase can never diverge.
-        return RunChase(plan.context(), ChaseOptions{}, options_.use_vf2,
-                        sink);
+        ChaseOptions copts;
+        copts.record_provenance = options_.record_provenance;
+        return RunChase(plan.context(), copts, options_.use_vf2, sink);
+      }
       case Algorithm::kEmMr:
       case Algorithm::kEmVf2Mr:
       case Algorithm::kEmOptMr:
@@ -58,36 +65,118 @@ StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
   return r;
 }
 
+bool Matcher::ChooseSeeded(const MatchPlan& plan, const MatchResult& prev,
+                           const GraphDelta& delta, bool streaming) const {
+  switch (rematch_options_.mode) {
+    case RematchOptions::Mode::kForceSeed:
+      return true;
+    case RematchOptions::Mode::kForceFull:
+      return false;
+    case RematchOptions::Mode::kAuto:
+      break;
+  }
+  if (delta.has_removals() && prev.derivations.empty() &&
+      !prev.pairs.empty()) {
+    // No provenance index to retract against: the retained seed would be
+    // empty and every previously identified candidate would re-enter the
+    // pipeline — a full run does the same work without the bookkeeping
+    // (and a streaming sink re-receives everything either way).
+    return false;
+  }
+  if (streaming) {
+    // A fallback restarts the pair stream — every previously emitted
+    // pair again. For a long-lived sink that cost dwarfs the model's
+    // saving, so kAuto never falls back under a sink; kForceFull above
+    // remains the explicit override.
+    return true;
+  }
+  if (!plan.patched()) {
+    // No dirty set to narrow the re-check, but seeding still skips the
+    // re-derivation of everything already known.
+    return true;
+  }
+  // The affected region as a share of the plan: when either the dirty
+  // slice of L or the recompiled keyed entities approach the whole plan,
+  // the seeded path re-checks nearly everything anyway and its wake-up
+  // bookkeeping only adds overhead (the README amortization table's
+  // ≥ 1 % delta rows are this regime).
+  return plan.dirty_fraction() <= rematch_options_.max_dirty_fraction &&
+         plan.affected_entity_fraction() <=
+             rematch_options_.max_affected_fraction;
+}
+
 StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
                                                const MatchResult& prev,
                                                const GraphDelta& delta,
                                                MatchSink* sink) const {
   GKEYS_RETURN_IF_ERROR(Validate(plan));
-  if (delta.has_removals()) {
-    // The chase is monotone only under additions: a removed triple can
-    // invalidate previous derivations, so the seed would be unsound.
-    // The patched plan is still exact for the post-delta graph — run it
-    // in full.
-    return RunWithSink(plan, sink);
+  if (!ChooseSeeded(plan, prev, delta, /*streaming=*/sink != nullptr)) {
+    // Full run of the patched plan — still exact for the post-delta
+    // graph, just unseeded.
+    StatusOr<MatchResult> r = RunWithSink(plan, sink);
+    if (r.ok()) r->stats.rematch_fallback = 1;
+    return r;
   }
+
   RematchSeed seed;
-  seed.prev_pairs = prev.pairs;
-  std::vector<uint32_t> all;
-  if (plan.patched()) {
-    seed.active = plan.dirty_candidates();
+  RetractionResult retained;  // owns the removal path's seed storage
+  if (delta.has_removals()) {
+    // Over-delete the derivations the removals invalidate (transitively
+    // over premises); the survivors seed Eq (DRed — see RematchSeed).
+    retained = RetractDerivations(plan.context().graph(), prev.derivations);
+    seed.prev_pairs = retained.seed_pairs;
+    seed.carried = retained.surviving;
   } else {
+    // Additive: identification is monotone in G, so the whole previous
+    // result is a sound seed and every previous derivation stays valid.
+    seed.prev_pairs = prev.pairs;
+    seed.carried = prev.derivations;
+  }
+  const auto& candidates = plan.context().candidates();
+  std::vector<uint32_t> active;
+  if (!plan.patched()) {
     // A freshly compiled plan carries no dirty set: seed Eq but re-check
     // every candidate (still skips work — seeded pairs are never
     // re-derived).
-    all.resize(plan.context().candidates().size());
-    for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
-    seed.active = all;
+    active.resize(candidates.size());
+    std::iota(active.begin(), active.end(), 0);
+  } else {
+    active.assign(plan.dirty_candidates().begin(),
+                  plan.dirty_candidates().end());
+    // Candidates whose pair fell out of the retained closure join the
+    // dirty set: their pair may still be derivable through another
+    // witness, which only a re-check can tell. Everything else kept its
+    // previous outcome: a clean negative stays negative (removals only
+    // shrink matches; additions are covered by the dirty set), and a
+    // clean positive either survived retraction or is now active. The
+    // retained closure is always a subset of the previous one, so equal
+    // pair counts mean nothing was lost and the O(nodes + |L|) scan is
+    // skipped — the common small-delta case stays delta-proportional.
+    if (delta.has_removals() &&
+        retained.seed_pairs.size() != prev.pairs.size()) {
+      EquivalenceRelation prev_eq(plan.context().graph().NumNodes());
+      for (const auto& [a, b] : prev.pairs) prev_eq.Union(a, b);
+      for (uint32_t i = 0; i < candidates.size(); ++i) {
+        const Candidate& c = candidates[i];
+        if (prev_eq.Same(c.e1, c.e2) &&
+            !retained.closure.Same(c.e1, c.e2)) {
+          active.push_back(i);
+        }
+      }
+      std::sort(active.begin(), active.end());
+      active.erase(std::unique(active.begin(), active.end()), active.end());
+    }
   }
+  seed.active = active;
+
   StatusOr<MatchResult> r = [&]() -> StatusOr<MatchResult> {
     switch (algorithm_) {
-      case Algorithm::kNaiveChase:
-        return RunChase(plan.context(), ChaseOptions{}, options_.use_vf2,
-                        sink, &seed);
+      case Algorithm::kNaiveChase: {
+        ChaseOptions copts;
+        copts.record_provenance = options_.record_provenance;
+        return RunChase(plan.context(), copts, options_.use_vf2, sink,
+                        &seed);
+      }
       case Algorithm::kEmMr:
       case Algorithm::kEmVf2Mr:
       case Algorithm::kEmOptMr:
@@ -100,6 +189,8 @@ StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
     return Status::InvalidArgument("unknown algorithm");
   }();
   if (!r.ok()) return r;
+  r->stats.rematch_seeded = 1;
+  r->stats.derivations_retracted = retained.retracted;
   r->stats.prep_seconds = plan.compile_seconds();
   r->stats.plan_bytes = plan.memory_bytes();
   return r;

@@ -10,6 +10,43 @@
 
 namespace gkeys {
 
+/// Options steering Matcher::Rematch's execution strategy. Orthogonal to
+/// EmOptions (which shape the fixpoint itself): these only decide HOW an
+/// incremental re-run uses the previous result.
+struct RematchOptions {
+  enum class Mode {
+    /// Cost model: seed when the patch's affected region is small — both
+    /// dirty_fraction() and affected_entity_fraction() of the patched
+    /// plan within the thresholds below — and fall back to a full run of
+    /// the patched plan when the region approaches the whole plan (where
+    /// seeding overhead loses; see the README amortization table's ≥ 1 %
+    /// rows). A removal delta whose previous result carries no provenance
+    /// index (EmOptions::record_provenance was off) always runs full: the
+    /// retained seed would be empty, so seeding saves nothing. Streaming
+    /// rematches (a sink present) never auto-fall-back — a restart would
+    /// re-emit every previously streamed pair, which costs the consumer
+    /// more than the model saves — except in that same provenance-less
+    /// removal case, where the stream restarts either way.
+    kAuto,
+    /// Always seed, even when the model predicts a full run is cheaper.
+    /// The result is byte-identical either way; tests use this to pin the
+    /// seeded path (EmStats::rematch_fallback stays 0).
+    kForceSeed,
+    /// Always run the patched plan in full, ignoring the previous result
+    /// (except that prep accounting still reports the patch cost).
+    kForceFull,
+  };
+  Mode mode = Mode::kAuto;
+
+  /// kAuto thresholds: seed only while the patched plan's
+  /// dirty_fraction() / affected_entity_fraction() stay at or below
+  /// these. 0.5 ≈ the break-even the bench_incremental datasets show —
+  /// past half the plan, re-checking dirty candidates plus the wake-up
+  /// cascade costs about as much as checking everything.
+  double max_dirty_fraction = 0.5;
+  double max_affected_fraction = 0.5;
+};
+
 /// The library's session API: compile once, run many (paper §4–§5; all
 /// algorithms share DriverMR's expensive line-1 preparation, so it is
 /// hoisted into an immutable MatchPlan).
@@ -31,9 +68,20 @@ namespace gkeys {
 /// a progress snapshot per fixpoint round, and polls the sink for
 /// cooperative cancellation (StatusCode::kCancelled).
 ///
+/// Incremental lifecycle: after a GraphDelta is applied
+/// (Graph::Apply → MatchPlan::Patch), Rematch(patched, prev, delta)
+/// continues from the previous result instead of recomputing — seeded
+/// for additive deltas outright, and for removal deltas through
+/// provenance retraction (every result carries a per-derivation
+/// provenance index by default; see MatchResult::derivations and
+/// RematchOptions above). Every mode returns pairs byte-identical to a
+/// from-scratch Compile + Run on the post-delta graph.
+///
 /// A Matcher is a small value object holding only configuration; it is
 /// cheap to construct and copy, and one plan can be shared by matchers on
-/// many threads (runs never mutate the plan).
+/// many threads (runs never mutate the plan, the previous result, or the
+/// delta). Configure a Matcher on one thread before sharing it; the
+/// execution methods are const and concurrently callable.
 class Matcher {
  public:
   /// Defaults to the paper's best all-round algorithm, EMOptVC.
@@ -88,15 +136,33 @@ class Matcher {
     options_.prioritized = v;
     return *this;
   }
+  /// Record a per-derivation provenance index into every result
+  /// (MatchResult::derivations; default on). Required for removal deltas
+  /// to run seeded — see Rematch below.
+  Matcher& record_provenance(bool v) {
+    options_.record_provenance = v;
+    return *this;
+  }
   /// Replaces the whole option set at once (for callers that already
   /// hold an EmOptions, e.g. the legacy wrappers and ablation benches).
   Matcher& options(const EmOptions& opts) {
     options_ = opts;
     return *this;
   }
+  /// Rematch strategy (seeded-vs-full choice); see RematchOptions.
+  Matcher& rematch_options(const RematchOptions& opts) {
+    rematch_options_ = opts;
+    return *this;
+  }
+  /// Shorthand for rematch_options({.mode = m}) keeping the thresholds.
+  Matcher& rematch_mode(RematchOptions::Mode m) {
+    rematch_options_.mode = m;
+    return *this;
+  }
 
   Algorithm algorithm() const { return algorithm_; }
   const EmOptions& options() const { return options_; }
+  const RematchOptions& rematch_options() const { return rematch_options_; }
 
   // ---- Execution -----------------------------------------------------
 
@@ -120,17 +186,33 @@ class Matcher {
 
   /// Incremental re-run after a graph delta. `plan` is the PATCHED plan
   /// (prev_plan.Patch(delta) after Graph::Apply(delta)); `prev` is the
-  /// result of the previous run on the pre-delta graph. For an additive
-  /// delta the fixpoint is seeded from `prev` and only the plan's dirty
-  /// candidates are re-checked (the dependency/ghost machinery cascades
-  /// into clean pairs new merges enable) — identification is monotone in
-  /// G, so the result is byte-identical to a from-scratch Run on the
-  /// post-delta graph. When the delta removed triples, previous
-  /// derivations may no longer hold and Rematch transparently falls back
-  /// to a full (unseeded) run of the patched plan; the result is still
-  /// exact.
+  /// result of the previous run on the pre-delta graph — pass it back
+  /// whole, its derivations ARE the provenance index removals need. The
+  /// result is byte-identical to a from-scratch Run on the post-delta
+  /// graph in every mode.
   ///
-  /// The returned result is complete (prev pairs included), with
+  /// Additive deltas: the fixpoint is seeded from `prev` and only the
+  /// plan's dirty candidates are re-checked (the dependency/ghost
+  /// machinery cascades into clean pairs new merges enable) —
+  /// identification is monotone in G, so nothing previously derived can
+  /// be lost.
+  ///
+  /// Removal deltas: previous derivations whose witness realized a
+  /// removed triple are retracted, transitively over premises (DRed-style
+  /// over-deletion; RetractDerivations in core/provenance.h). The run is
+  /// then seeded from the SURVIVING derivations, re-checking the dirty
+  /// candidates plus every candidate whose pair was retracted — survivors
+  /// of the over-deletion re-derive through the normal fixpoint. Requires
+  /// `prev` to carry derivations (recorded by default); without them the
+  /// retained seed is empty, which is still exact but re-checks every
+  /// previously identified pair.
+  ///
+  /// RematchOptions::mode picks seeded vs. a full run of the patched plan
+  /// (kAuto consults the plan's affected-region statistics). The result's
+  /// stats record what happened: rematch_seeded / rematch_fallback /
+  /// derivations_retracted.
+  ///
+  /// The returned result is complete (retained pairs included), with
   /// prep_seconds = the PATCH cost of `plan`.
   StatusOr<MatchResult> Rematch(const MatchPlan& plan,
                                 const MatchResult& prev,
@@ -138,11 +220,15 @@ class Matcher {
     return RematchWithSink(plan, prev, delta, nullptr);
   }
 
-  /// Streaming rematch: the sink sees exactly the DELTA — pairs beyond
-  /// `prev` — each exactly once (exactly-once across the whole plan
-  /// lifetime when the same sink outlives successive rematches). Under
-  /// the removal fallback the stream restarts: every pair of the new
-  /// result is emitted.
+  /// Streaming rematch: the sink sees every pair NOT in the retained seed
+  /// — for additive deltas exactly the delta beyond `prev`, each exactly
+  /// once (exactly-once across the whole plan lifetime when the same sink
+  /// outlives successive additive rematches). When removals retract
+  /// derivations, retracted-then-re-derived pairs are re-emitted (the
+  /// stream cannot un-emit), and pairs that stay lost simply do not
+  /// appear; diff against `prev` for exact removal notifications. Under a
+  /// full-run fallback the stream restarts: every pair of the new result
+  /// is emitted.
   StatusOr<MatchResult> Rematch(const MatchPlan& plan,
                                 const MatchResult& prev,
                                 const GraphDelta& delta,
@@ -158,9 +244,16 @@ class Matcher {
                                         const MatchResult& prev,
                                         const GraphDelta& delta,
                                         MatchSink* sink) const;
+  /// The kAuto cost model (and the kForce* overrides): should this
+  /// rematch seed from `prev` rather than run the patched plan in full?
+  /// `streaming` disables the kAuto fallback (a restart would re-emit
+  /// every previously streamed pair).
+  bool ChooseSeeded(const MatchPlan& plan, const MatchResult& prev,
+                    const GraphDelta& delta, bool streaming) const;
 
   Algorithm algorithm_ = Algorithm::kEmOptVc;
   EmOptions options_;
+  RematchOptions rematch_options_;
 };
 
 }  // namespace gkeys

@@ -95,4 +95,36 @@ bool ValidateDerivation(const Graph& g, const KeySet& keys,
   return true;
 }
 
+RetractionResult RetractDerivations(
+    const Graph& g, std::span<const Derivation> derivations) {
+  RetractionResult out;
+  EquivalenceRelation replay(g.NumNodes());
+  for (const Derivation& d : derivations) {
+    bool valid = true;
+    for (const WitnessTriple& t : d.triples) {
+      if (!g.HasTriple(t.s, t.p, t.o)) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      for (const auto& [a, b] : d.premises) {
+        if (!replay.Same(a, b)) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (!valid) {
+      ++out.retracted;
+      continue;
+    }
+    replay.Union(d.e1, d.e2);
+    out.surviving.push_back(d);
+  }
+  out.seed_pairs = replay.IdentifiedPairs();
+  out.closure = std::move(replay);
+  return out;
+}
+
 }  // namespace gkeys

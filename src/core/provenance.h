@@ -1,6 +1,7 @@
 #ifndef GKEYS_CORE_PROVENANCE_H_
 #define GKEYS_CORE_PROVENANCE_H_
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,15 @@
 #include "keys/key.h"
 
 namespace gkeys {
+
+// Provenance has two faces here. ChaseStep (below) is the HUMAN-facing
+// one: key names, rounds, formatted explanations, recorded by the
+// sequential ChaseWithProvenance. Derivation (core/em_common.h) is the
+// MACHINE-facing one: compiled-key indices, premises, and witness
+// triples, recorded by all three engine families on every run and
+// replayed by RetractDerivations to maintain results under removal
+// deltas. Both encode the same §3.1 proof graphs. All functions in this
+// header are pure and thread-compatible (no shared mutable state).
 
 /// One recorded chase step Eq ⇒_(e1,e2) Eq' (paper §3.1): which key fired
 /// for which pair, and which previously derived facts it consumed. The
@@ -51,6 +61,45 @@ std::string FormatChaseStep(const Graph& g, const ChaseStep& step);
 /// re-check derivations.
 bool ValidateDerivation(const Graph& g, const KeySet& keys,
                         const std::vector<ChaseStep>& steps);
+
+/// The outcome of replaying a provenance index (MatchResult::derivations)
+/// against a mutated graph: the derivations still valid, the seed they
+/// imply, and how many were over-deleted.
+struct RetractionResult {
+  /// Derivations whose witness triples all still exist in the graph and
+  /// whose premises are supported by earlier surviving derivations, in
+  /// the original (replayable) order. Every one is a valid chase step on
+  /// the mutated graph, so their merges are a sound rematch seed.
+  std::vector<Derivation> surviving;
+  /// The Eq-closure of the surviving derivations' merges: all pairs
+  /// (a, b), a < b, sorted — RematchSeed::prev_pairs for a seeded re-run.
+  std::vector<std::pair<NodeId, NodeId>> seed_pairs;
+  /// The same closure as a queryable union-find (the replay relation,
+  /// handed out rather than discarded — Matcher::Rematch probes it when
+  /// computing the retracted-candidate re-check set).
+  EquivalenceRelation closure = EquivalenceRelation(0);
+  /// Derivations dropped. DRed-style over-deletion: a dropped derivation
+  /// may still hold through another witness — Matcher::Rematch re-checks
+  /// every retracted candidate, re-deriving exactly the survivors.
+  size_t retracted = 0;
+};
+
+/// DRed over-deletion for removal deltas (Theorem 2's proof graphs put to
+/// work): replays `derivations` in recorded order against `g` — the graph
+/// AFTER the delta was applied — keeping a derivation iff every witness
+/// triple still exists (one HasTriple probe each; removals are the only
+/// way a recorded triple can vanish, since nodes are never deleted) and
+/// every premise is Same under the replay union-find of the derivations
+/// kept so far. Dropping is transitive over premises by construction: if
+/// a derivation's support was retracted, its premise check fails and it is
+/// retracted too. `g` must be finalized. The engines' record-before-Union
+/// discipline guarantees every entry's premises precede it in the log
+/// (see internal::DerivationLog), so an unchanged graph retracts nothing;
+/// the replay is additionally robust to unsupported entries (they are
+/// over-deleted and re-derived by the seeded run — wasted work, never
+/// wrong answers), which future engines may lean on.
+RetractionResult RetractDerivations(const Graph& g,
+                                    std::span<const Derivation> derivations);
 
 }  // namespace gkeys
 

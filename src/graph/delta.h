@@ -25,9 +25,24 @@ namespace gkeys {
 ///     auto dirty = g.Apply(delta);                // mutate + re-Finalize
 ///     auto plan2 = plan.Patch(delta);             // incremental recompile
 ///
-/// One delta is good for one Apply: ids staged for new nodes assume the
-/// base graph's node count, so Apply rejects a delta whose base has since
-/// grown (InvalidArgument). The base graph must outlive the delta.
+/// Lifecycle: one delta is good for one Apply — ids staged for new nodes
+/// assume the base graph's node count, so Apply rejects a delta whose
+/// base has since grown (InvalidArgument). After Apply, the same delta
+/// value is still what MatchPlan::Patch and Matcher::Rematch consume
+/// (they read the staged ops, never re-apply them). The base graph must
+/// outlive the delta.
+///
+/// Thread-safety: staging mutates the delta and is not synchronized —
+/// build a delta on one thread. Once built it is logically const and may
+/// be read (Apply/Patch/Rematch/TouchedNodes) from any thread, one
+/// mutating consumer (Apply) at a time.
+///
+/// Error contract: staging methods return InvalidArgument for unknown
+/// ids or a non-entity subject, eagerly; existence of removed triples is
+/// checked by Graph::Apply (NotFound), not at staging time. Removal
+/// deltas are first-class downstream: Matcher::Rematch retracts the
+/// derivations a removed triple invalidates and re-seeds, instead of
+/// rerunning the world (see RematchOptions in core/matcher.h).
 class GraphDelta {
  public:
   /// Stages against `base` as it is right now (captures the node count).

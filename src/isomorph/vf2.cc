@@ -140,7 +140,7 @@ bool Coincide(const Graph& g, const CompiledPattern& cp, const Valuation& v1,
 bool IdentifiesByEnumeration(const Graph& g, const CompiledPattern& cp,
                              NodeId e1, NodeId e2, const EqView& eq,
                              const NodeSet* n1, const NodeSet* n2,
-                             SearchStats* stats) {
+                             SearchStats* stats, Witness* witness) {
   // Safety valve: patterns are small; planted graphs keep match counts low.
   constexpr size_t kMaxMatches = 100000;
   std::vector<Valuation> m1 =
@@ -150,7 +150,15 @@ bool IdentifiesByEnumeration(const Graph& g, const CompiledPattern& cp,
       EnumerateMatches(g, cp, e2, n2, kMaxMatches, stats);
   for (const Valuation& v1 : m1) {
     for (const Valuation& v2 : m2) {
-      if (Coincide(g, cp, v1, v2, eq)) return true;
+      if (Coincide(g, cp, v1, v2, eq)) {
+        if (witness != nullptr) {
+          witness->resize(v1.size());
+          for (size_t i = 0; i < v1.size(); ++i) {
+            (*witness)[i] = {v1[i], v2[i]};
+          }
+        }
+        return true;
+      }
     }
   }
   return false;

@@ -37,12 +37,16 @@ bool Coincide(const Graph& g, const CompiledPattern& cp, const Valuation& v1,
 /// The naive decision procedure used by EMVF2MR (paper §4.1): enumerate all
 /// matches at e1 and all at e2 with VF2, then test every pair of matches
 /// for coincidence. Semantically identical to KeyIdentifies but without
-/// combined search or early termination.
+/// combined search or early termination. When `witness` is non-null it is
+/// filled on success with the combined (side1, side2) vector of the first
+/// coinciding match pair — the same shape KeyIdentifiesWitness produces —
+/// so provenance recording works under VF2 enumeration too.
 bool IdentifiesByEnumeration(const Graph& g, const CompiledPattern& cp,
                              NodeId e1, NodeId e2, const EqView& eq,
                              const NodeSet* n1 = nullptr,
                              const NodeSet* n2 = nullptr,
-                             SearchStats* stats = nullptr);
+                             SearchStats* stats = nullptr,
+                             Witness* witness = nullptr);
 
 }  // namespace gkeys
 

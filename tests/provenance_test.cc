@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
 
+#include "core/matcher.h"
 #include "gen/synthetic.h"
+#include "graph/delta.h"
 #include "test_util.h"
 
 namespace gkeys {
@@ -121,6 +125,93 @@ TEST(Provenance, StepCountBoundsConfirmedPairs) {
   ProvenanceResult pr = ChaseWithProvenance(ds.graph, ds.keys);
   EXPECT_LE(pr.steps.size(), pr.result.pairs.size());
   EXPECT_EQ(pr.result.pairs, ds.planted);
+}
+
+// ---- Retraction (the removal-delta seed, Matcher::Rematch) -----------
+
+/// The music fixture's derivations via the plan API: exactly two —
+/// (alb1, alb2) by value-based Q2, then (art1, art2) by recursive Q3
+/// premised on the album pair.
+MatchResult MusicResult(const testing::MusicGraph& m, const KeySet& keys) {
+  auto plan = Matcher::Compile(m.g, keys,
+                               PlanOptions::For(Algorithm::kNaiveChase, 1));
+  EXPECT_TRUE(plan.ok());
+  auto r = Matcher(Algorithm::kNaiveChase).Run(*plan);
+  EXPECT_TRUE(r.ok());
+  return *std::move(r);
+}
+
+TEST(Provenance, RetractionOnUntouchedGraphKeepsEverything) {
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  MatchResult r = MusicResult(m, sigma1);
+  ASSERT_EQ(r.derivations.size(), 2u);
+  RetractionResult retr = RetractDerivations(m.g, r.derivations);
+  EXPECT_EQ(retr.retracted, 0u);
+  EXPECT_EQ(retr.surviving.size(), 2u);
+  EXPECT_EQ(retr.seed_pairs, r.pairs);
+}
+
+TEST(Provenance, RetractionCascadesThroughPremises) {
+  // Removing a triple the ALBUM witness realized invalidates the album
+  // derivation directly — and the artist derivation transitively, since
+  // its premise (alb1 == alb2) loses support. DRed over-deletes both.
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  MatchResult r = MusicResult(m, sigma1);
+  ASSERT_EQ(r.derivations.size(), 2u);
+  EXPECT_EQ(r.derivations[0].premises.size(), 0u);  // Q2, value-based
+  ASSERT_EQ(r.derivations[1].premises.size(), 1u);  // Q3's album premise
+  EXPECT_EQ(r.derivations[1].premises[0],
+            (std::pair<NodeId, NodeId>{m.alb1, m.alb2}));
+
+  GraphDelta delta(m.g);
+  ASSERT_TRUE(delta.RemoveTriple(m.alb1, "release_year",
+                                 m.g.FindValue("1996"))
+                  .ok());
+  ASSERT_TRUE(m.g.Apply(delta).ok());
+
+  RetractionResult retr = RetractDerivations(m.g, r.derivations);
+  EXPECT_EQ(retr.retracted, 2u);
+  EXPECT_TRUE(retr.surviving.empty());
+  EXPECT_TRUE(retr.seed_pairs.empty());
+}
+
+TEST(Provenance, RetractionKeepsIndependentDerivations) {
+  // Removing a triple only the ARTIST witness used retracts the artist
+  // derivation; the album derivation survives and seeds the album pair.
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  MatchResult r = MusicResult(m, sigma1);
+  ASSERT_EQ(r.derivations.size(), 2u);
+
+  GraphDelta delta(m.g);
+  ASSERT_TRUE(delta.RemoveTriple(m.art1, "name_of",
+                                 m.g.FindValue("The Beatles"))
+                  .ok());
+  ASSERT_TRUE(m.g.Apply(delta).ok());
+
+  RetractionResult retr = RetractDerivations(m.g, r.derivations);
+  EXPECT_EQ(retr.retracted, 1u);
+  ASSERT_EQ(retr.surviving.size(), 1u);
+  EXPECT_EQ(retr.surviving[0].e1, std::min(m.alb1, m.alb2));
+  EXPECT_EQ(retr.surviving[0].e2, std::max(m.alb1, m.alb2));
+  EXPECT_EQ(retr.seed_pairs, testing::Pairs({{m.alb1, m.alb2}}));
+}
+
+TEST(Provenance, RetractionDropsDanglingPremises) {
+  // A hand-tampered index whose premise never appears must not survive:
+  // the replay treats the unsupported premise as retracted. (The shipped
+  // engines never record out of order — record-before-Union guarantees
+  // it — so this pins the DRed safety net a future engine may lean on.)
+  auto m = MakeG1();
+  KeySet sigma1 = MakeSigma1();
+  MatchResult r = MusicResult(m, sigma1);
+  ASSERT_EQ(r.derivations.size(), 2u);
+  std::vector<Derivation> tampered = {r.derivations[1]};  // premise first
+  RetractionResult retr = RetractDerivations(m.g, tampered);
+  EXPECT_EQ(retr.retracted, 1u);
+  EXPECT_TRUE(retr.surviving.empty());
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "core/matcher.h"
+#include "core/provenance.h"
 #include "gen/synthetic.h"
 #include "graph/delta.h"
 #include "test_util.h"
@@ -86,9 +87,12 @@ std::vector<std::pair<NodeId, NodeId>> FromScratch(const Graph& g,
 /// Drives one delta stream for one algorithm: starting graph = the full
 /// graph minus `held_out`; each chunk re-adds some held-out triples
 /// and/or removes some present ones. After every chunk the patched chain
-/// must agree byte-for-byte with a from-scratch compile + run.
+/// must agree byte-for-byte with a from-scratch compile + run. In
+/// kForceSeed mode, additionally asserts every chunk really ran seeded
+/// (EmStats::rematch_fallback stays 0 — no full-run fallback taken).
 void RunStream(uint64_t seed, Algorithm algo, size_t hold_out,
-               size_t chunks, size_t removals_per_chunk) {
+               size_t chunks, size_t removals_per_chunk,
+               RematchOptions::Mode mode = RematchOptions::Mode::kAuto) {
   SCOPED_TRACE("seed=" + std::to_string(seed) +
                " algo=" + AlgorithmName(algo) +
                " hold_out=" + std::to_string(hold_out) +
@@ -111,7 +115,7 @@ void RunStream(uint64_t seed, Algorithm algo, size_t hold_out,
   ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
   MatchPlan plan = *plan_or;
   Matcher matcher(algo);
-  matcher.processors(2);
+  matcher.processors(2).rematch_mode(mode);
   auto result_or = matcher.Run(plan);
   ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
   MatchResult result = *std::move(result_or);
@@ -156,6 +160,10 @@ void RunStream(uint64_t seed, Algorithm algo, size_t hold_out,
     ASSERT_TRUE(patched.ok()) << patched.status().ToString();
     auto rematched = matcher.Rematch(*patched, result, delta);
     ASSERT_TRUE(rematched.ok()) << rematched.status().ToString();
+    if (mode == RematchOptions::Mode::kForceSeed) {
+      EXPECT_EQ(rematched->stats.rematch_fallback, 0u);
+      EXPECT_EQ(rematched->stats.rematch_seeded, 1u);
+    }
     plan = *std::move(patched);
     result = *std::move(rematched);
 
@@ -188,6 +196,143 @@ TEST(Rematch, MixedStreamsMatchFromScratchAllAlgorithms) {
     RunStream(/*seed=*/4, algo, /*hold_out=*/9, /*chunks=*/3,
               /*removals_per_chunk=*/4);
   }
+}
+
+TEST(Rematch, RemovalOnlyStreamsRunSeededAllAlgorithms) {
+  // kForceSeed pins the provenance-retraction path: every chunk must run
+  // seeded (no full-run fallback, asserted inside RunStream via the
+  // rematch_fallback counter) and still be byte-identical to from-scratch.
+  for (Algorithm algo : AllAlgorithms()) {
+    for (uint64_t seed : {7u, 8u}) {
+      RunStream(seed, algo, /*hold_out=*/0, /*chunks=*/3,
+                /*removals_per_chunk=*/6, RematchOptions::Mode::kForceSeed);
+    }
+  }
+}
+
+TEST(Rematch, RemovalHeavyStreamsRunSeededAllAlgorithms) {
+  // Removal-heavy mixed streams (few re-additions, many removals) under
+  // forced seeding: retraction plus the dirty re-check must stay exact
+  // even when most of each delta is destructive.
+  for (Algorithm algo : AllAlgorithms()) {
+    RunStream(/*seed=*/9, algo, /*hold_out=*/4, /*chunks=*/3,
+              /*removals_per_chunk=*/12, RematchOptions::Mode::kForceSeed);
+  }
+}
+
+TEST(Rematch, ForceFullStreamsStayExact) {
+  RunStream(/*seed=*/10, Algorithm::kEmOptVc, /*hold_out=*/8, /*chunks=*/2,
+            /*removals_per_chunk=*/5, RematchOptions::Mode::kForceFull);
+}
+
+TEST(Rematch, DerivationClosureEqualsPairsAllAlgorithms) {
+  // The provenance index every engine records must be complete: the
+  // Eq-closure of the recorded derivations equals the result's pairs, and
+  // replaying it against the unchanged graph retracts nothing.
+  Workload w = MakeWorkload(11);
+  for (Algorithm algo : AllAlgorithms()) {
+    SCOPED_TRACE(AlgorithmName(algo));
+    auto plan = Matcher::Compile(w.graph, w.keys, PlanOptions::For(algo, 2));
+    ASSERT_TRUE(plan.ok());
+    auto r = Matcher(algo).processors(2).Run(*plan);
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r->pairs.empty()) << "workload too boring";
+    EXPECT_FALSE(r->derivations.empty());
+    RetractionResult retr =
+        RetractDerivations(w.graph, r->derivations);
+    EXPECT_EQ(retr.retracted, 0u);
+    EXPECT_EQ(retr.seed_pairs, r->pairs);
+    for (const Derivation& d : r->derivations) {
+      EXPECT_LT(d.e1, d.e2);
+      EXPECT_GE(d.key, 0);
+      EXPECT_FALSE(d.triples.empty());
+    }
+  }
+}
+
+TEST(Rematch, RemovalWithoutProvenanceAutoFallsBackAndStaysExact) {
+  // A previous result stripped of its derivations cannot seed a removal:
+  // kAuto must run the patched plan in full (rematch_fallback == 1) and
+  // the result must still match from-scratch.
+  Workload w = MakeWorkload(12);
+  Graph& g = w.graph;
+  Algorithm algo = Algorithm::kEmOptVc;
+  auto plan = Matcher::Compile(g, w.keys, PlanOptions::For(algo, 1));
+  ASSERT_TRUE(plan.ok());
+  Matcher matcher(algo);
+  auto prev = matcher.Run(*plan);
+  ASSERT_TRUE(prev.ok());
+  ASSERT_FALSE(prev->pairs.empty());
+  prev->derivations.clear();  // simulate record_provenance(false)
+
+  Triple victim;
+  bool have = false;
+  g.ForEachTriple([&](const Triple& t) {
+    if (!have) {
+      victim = t;
+      have = true;
+    }
+  });
+  ASSERT_TRUE(have);
+  GraphDelta delta(g);
+  ASSERT_TRUE(delta
+                  .RemoveTriple(victim.subject,
+                                g.interner().Resolve(victim.pred),
+                                victim.object)
+                  .ok());
+  ASSERT_TRUE(g.Apply(delta).ok());
+  auto patched = plan->Patch(delta);
+  ASSERT_TRUE(patched.ok());
+
+  auto rematched = matcher.Rematch(*patched, *prev, delta);
+  ASSERT_TRUE(rematched.ok());
+  EXPECT_EQ(rematched->stats.rematch_fallback, 1u);
+  EXPECT_EQ(rematched->stats.rematch_seeded, 0u);
+  EXPECT_EQ(rematched->pairs, FromScratch(g, w.keys, algo));
+
+  // Forced seeding without provenance is the degenerate seed (empty
+  // retained fixpoint, every previously-equal candidate re-checked) —
+  // slower, but still exact.
+  auto forced = matcher.rematch_mode(RematchOptions::Mode::kForceSeed)
+                    .Rematch(*patched, *prev, delta);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ(forced->stats.rematch_seeded, 1u);
+  EXPECT_EQ(forced->pairs, rematched->pairs);
+}
+
+TEST(Rematch, AutoSeedsSmallDeltasAndReportsRetractions) {
+  // A delta removing one triple out of hundreds leaves a small affected
+  // region: the kAuto cost model must choose the seeded path, and the
+  // retraction counter must reflect the over-deleted derivations.
+  Workload w = MakeWorkload(13);
+  Graph& g = w.graph;
+  Algorithm algo = Algorithm::kEmOptVc;
+  auto plan = Matcher::Compile(g, w.keys, PlanOptions::For(algo, 1));
+  ASSERT_TRUE(plan.ok());
+  Matcher matcher(algo);
+  auto prev = matcher.Run(*plan);
+  ASSERT_TRUE(prev.ok());
+  ASSERT_FALSE(prev->derivations.empty());
+
+  // Remove one triple some derivation's witness realized, so at least
+  // one retraction provably happens.
+  WitnessTriple victim = prev->derivations.front().triples.front();
+  GraphDelta delta(g);
+  ASSERT_TRUE(delta
+                  .RemoveTriple(victim.s, g.interner().Resolve(victim.p),
+                                victim.o)
+                  .ok());
+  ASSERT_TRUE(g.Apply(delta).ok());
+  auto patched = plan->Patch(delta);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_LT(patched->dirty_fraction(), 0.5);
+
+  auto rematched = matcher.Rematch(*patched, *prev, delta);
+  ASSERT_TRUE(rematched.ok());
+  EXPECT_EQ(rematched->stats.rematch_seeded, 1u);
+  EXPECT_EQ(rematched->stats.rematch_fallback, 0u);
+  EXPECT_GE(rematched->stats.derivations_retracted, 1u);
+  EXPECT_EQ(rematched->pairs, FromScratch(g, w.keys, algo));
 }
 
 TEST(Rematch, NewEntitiesArriveViaDeltaAndGetIdentified) {
@@ -257,7 +402,9 @@ TEST(Rematch, StreamingSinkSeesExactlyTheDelta) {
   auto plan = Matcher::Compile(g, w.keys, PlanOptions::For(algo, 2));
   ASSERT_TRUE(plan.ok());
   Matcher matcher(algo);
-  matcher.processors(2);
+  // Force the seeded path: the exactly-the-delta stream contract is what
+  // this test pins (a kAuto fallback would legitimately restart it).
+  matcher.processors(2).rematch_mode(RematchOptions::Mode::kForceSeed);
   auto base = matcher.Run(*plan);
   ASSERT_TRUE(base.ok());
 
@@ -298,6 +445,56 @@ TEST(Rematch, StreamingSinkSeesExactlyTheDelta) {
   EXPECT_EQ(sink.pairs, expected);
   EXPECT_GT(rematched->pairs.size(), base->pairs.size())
       << "the held-out triples were chosen too boringly";
+}
+
+TEST(Rematch, AutoNeverFallsBackUnderAStreamingSink) {
+  // A kAuto fallback restarts the pair stream (every previously emitted
+  // pair again), so with a sink present the cost model must keep
+  // seeding even when the delta dirties most of the plan.
+  Workload w = MakeWorkload(5);
+  std::vector<uint8_t> keep(w.all_triples.size(), 1);
+  // Hold out a third of all edges — far past the kAuto thresholds.
+  Rng rng(7);
+  size_t hold = w.all_triples.size() / 3;
+  for (size_t chosen = 0; chosen < hold;) {
+    size_t pick = rng.Below(w.all_triples.size());
+    if (keep[pick]) {
+      keep[pick] = 0;
+      ++chosen;
+    }
+  }
+  Graph g = RebuildWithout(w.graph, w.all_triples, keep);
+  Algorithm algo = Algorithm::kEmOptVc;
+  auto plan = Matcher::Compile(g, w.keys, PlanOptions::For(algo, 1));
+  ASSERT_TRUE(plan.ok());
+  Matcher matcher(algo);  // default kAuto
+  auto base = matcher.Run(*plan);
+  ASSERT_TRUE(base.ok());
+  GraphDelta delta(g);
+  for (size_t i = 0; i < w.all_triples.size(); ++i) {
+    if (keep[i]) continue;
+    const Triple& t = w.all_triples[i];
+    ASSERT_TRUE(delta
+                    .AddTriple(t.subject,
+                               w.graph.interner().Resolve(t.pred), t.object)
+                    .ok());
+  }
+  ASSERT_TRUE(g.Apply(delta).ok());
+  auto patched = plan->Patch(delta);
+  ASSERT_TRUE(patched.ok());
+  ASSERT_GT(patched->dirty_fraction(), 0.5) << "delta too small to test";
+
+  MatchSink sink;  // inert default sink — presence is what matters
+  auto streamed = matcher.Rematch(*patched, *base, delta, sink);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed->stats.rematch_fallback, 0u);
+  EXPECT_EQ(streamed->stats.rematch_seeded, 1u);
+
+  // Without the sink the same rematch falls back (the model's call).
+  auto plain = matcher.Rematch(*patched, *base, delta);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->stats.rematch_fallback, 1u);
+  EXPECT_EQ(plain->pairs, streamed->pairs);
 }
 
 TEST(Rematch, PatchBeforeApplyIsFailedPrecondition) {

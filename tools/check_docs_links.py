@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Checks that markdown relative links and intra-doc anchors resolve.
+
+Usage: check_docs_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link in the given files:
+  - external links (http/https/mailto) are ignored;
+  - a relative file target must exist on disk (resolved against the
+    linking file's directory);
+  - an anchor fragment (#section, alone or after a file target) must
+    match a heading in the target file, using GitHub's slugification
+    (lowercase, punctuation stripped, spaces to hyphens, -N suffixes
+    for duplicates).
+
+Exits non-zero listing every broken link. Run from anywhere; CI runs it
+from the repository root over README.md and docs/ARCHITECTURE.md.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug for a heading text."""
+    # Strip inline code/markdown emphasis markers, then slugify.
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.ASCII)
+    slug = text.replace(" ", "-")
+    n = seen.get(slug)
+    seen[slug] = 0 if n is None else n + 1
+    return slug if n is None else f"{slug}-{seen[slug]}"
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        seen: dict = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+        cache[path] = anchors
+    return cache[path]
+
+
+def links_of(path: Path):
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield from LINK_RE.findall(line)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    anchor_cache: dict = {}
+    errors = []
+    for name in argv[1:]:
+        doc = Path(name)
+        if not doc.is_file():
+            errors.append(f"{name}: file not found")
+            continue
+        for target in links_of(doc):
+            if re.match(r"^(https?:|mailto:)", target):
+                continue
+            file_part, _, anchor = target.partition("#")
+            dest = doc if not file_part else (doc.parent / file_part)
+            if file_part and not dest.exists():
+                errors.append(f"{name}: broken link -> {target}")
+                continue
+            if anchor:
+                if not dest.is_file() or not dest.suffix == ".md":
+                    errors.append(
+                        f"{name}: anchor on non-markdown target -> {target}")
+                elif anchor not in anchors_of(dest, anchor_cache):
+                    errors.append(f"{name}: broken anchor -> {target}")
+    for e in errors:
+        print(e)
+    if not errors:
+        print(f"ok: {len(argv) - 1} file(s), all links and anchors resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
