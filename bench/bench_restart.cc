@@ -1,0 +1,287 @@
+// Restart economics of the persistence subsystem: after a process dies,
+// is it cheaper to reload a snapshot and resume incrementally than to
+// re-compile and re-run from scratch?
+//
+// Methodology (held-out edges, as in bench_incremental): generate the
+// full dataset, withhold a small slice of its triples as the "pending
+// deltas" that arrived while the process was down, compile + run on the
+// remainder, Snapshot::Save the session to a file. Then, per timed
+// restart: MmapStore::Open + Snapshot::Load (timed), stage the held
+// slice as a GraphDelta, Matcher::Resume (timed) — versus the cold path
+// on the full post-delta graph: Matcher::Compile + Run (timed). The
+// resumed pair set is verified byte-identical to the cold run's; rows
+// record save/load/resume/cold times, the snapshot's size on disk, and
+// the restart speedup.
+
+#include "bench_util.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/delta.h"
+#include "io/triples.h"
+#include "storage/mmap_store.h"
+#include "storage/snapshot.h"
+
+namespace gkeys {
+namespace bench {
+namespace {
+
+/// Rebuilds `src` node-for-node (same NodeIds) without the triples whose
+/// index is flagged in `held`.
+Graph RebuildWithout(const Graph& src, const std::vector<Triple>& triples,
+                     const std::vector<uint8_t>& held) {
+  Graph g;
+  for (NodeId n = 0; n < src.NumNodes(); ++n) {
+    if (src.IsEntity(n)) {
+      g.AddEntity(src.interner().Resolve(src.entity_type(n)));
+    } else {
+      g.AddValue(src.value_str(n));
+    }
+  }
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (held[i]) continue;
+    const Triple& t = triples[i];
+    (void)g.AddTriple(t.subject, src.interner().Resolve(t.pred), t.object);
+  }
+  g.Finalize();
+  return g;
+}
+
+std::string SnapshotPath() {
+  return "/tmp/gkeys_bench_restart_" + std::to_string(getpid()) + ".gks";
+}
+
+void RegisterAll() {
+  for (Algorithm algo : {Algorithm::kEmOptVc, Algorithm::kEmOptMr}) {
+    for (Dataset ds :
+         {Dataset::kGoogle, Dataset::kDBpedia, Dataset::kSynthetic}) {
+      // Scale 1 documents the crossover (tiny graphs compile in ~1ms, so
+      // fixed load overhead can win); scale 4 is where restart economics
+      // matter — compile grows superlinearly, load stays linear in the
+      // snapshot.
+      for (double scale : {1.0, 4.0}) {
+      for (double frac : {0.001, 0.01}) {
+        std::string name = "Restart/" + AlgorithmName(algo) + "/" +
+                           DatasetName(ds) + "/x" +
+                           std::to_string(static_cast<int>(scale)) +
+                           "/pending_" + std::to_string(frac);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [algo, ds, frac, name, scale](benchmark::State& state) {
+              SyntheticDataset data = MakeDataset(ds, scale);
+              std::vector<Triple> triples;
+              data.graph.ForEachTriple(
+                  [&](const Triple& t) { triples.push_back(t); });
+              const size_t pending = std::max<size_t>(
+                  1, static_cast<size_t>(frac * triples.size()));
+              Rng rng(42);
+              std::vector<uint8_t> held(triples.size(), 0);
+              for (size_t chosen = 0; chosen < pending;) {
+                size_t pick = rng.Below(triples.size());
+                if (!held[pick]) {
+                  held[pick] = 1;
+                  ++chosen;
+                }
+              }
+
+              double save_s = 0, load_s = 0, resume_s = 0;
+              double cold_ingest_s = 0, cold_compile_s = 0, cold_run_s = 0;
+              double snapshot_bytes = 0;
+              size_t pairs = 0;
+              bool mismatch = false;
+              const std::string path = SnapshotPath();
+              for (auto _ : state) {
+                state.PauseTiming();
+                // The session that will be "killed": base graph (full
+                // minus pending), compiled and run to completion.
+                Graph base = RebuildWithout(data.graph, triples, held);
+                auto plan = Matcher::Compile(base, data.keys,
+                                             PlanOptions::For(algo, 1));
+                if (!plan.ok()) {
+                  state.SkipWithError(plan.status().ToString().c_str());
+                  return;
+                }
+                Matcher matcher(algo);
+                matcher.processors(1);
+                auto prev = matcher.Run(*plan);
+                if (!prev.ok()) {
+                  state.SkipWithError(prev.status().ToString().c_str());
+                  return;
+                }
+                state.ResumeTiming();
+
+                Timer save_timer;
+                {
+                  auto store = storage::MmapStore::Create(path);
+                  if (!store.ok()) {
+                    state.SkipWithError(
+                        store.status().ToString().c_str());
+                    return;
+                  }
+                  Status st = storage::Snapshot::Save(
+                      **store, base, data.keys, *plan, *prev, algo);
+                  if (st.ok()) st = (*store)->Flush();
+                  if (!st.ok()) {
+                    state.SkipWithError(st.ToString().c_str());
+                    return;
+                  }
+                  snapshot_bytes =
+                      static_cast<double>((*store)->file_bytes());
+                }
+                save_s = save_timer.Seconds();
+
+                // Restart path, min over a few repetitions (each one
+                // reloads from disk — Resume advances the snapshot).
+                constexpr int kReps = 3;
+                double t_load = 1e9, t_resume = 1e9;
+                std::vector<std::pair<NodeId, NodeId>> resumed_pairs;
+                for (int r = 0; r < kReps; ++r) {
+                  Timer load_timer;
+                  auto store = storage::MmapStore::Open(path);
+                  if (!store.ok()) {
+                    state.SkipWithError(
+                        store.status().ToString().c_str());
+                    return;
+                  }
+                  auto snap = storage::Snapshot::Load(**store);
+                  if (!snap.ok()) {
+                    state.SkipWithError(
+                        snap.status().ToString().c_str());
+                    return;
+                  }
+                  t_load = std::min(t_load, load_timer.Seconds());
+
+                  GraphDelta delta(snap->graph());
+                  for (size_t i = 0; i < triples.size(); ++i) {
+                    if (!held[i]) continue;
+                    const Triple& t = triples[i];
+                    (void)delta.AddTriple(
+                        t.subject, data.graph.interner().Resolve(t.pred),
+                        t.object);
+                  }
+                  Timer resume_timer;
+                  auto resumed = matcher.Resume(*snap, delta);
+                  if (!resumed.ok()) {
+                    state.SkipWithError(
+                        resumed.status().ToString().c_str());
+                    return;
+                  }
+                  t_resume = std::min(t_resume, resume_timer.Seconds());
+                  resumed_pairs = resumed->pairs;
+                }
+                load_s = t_load;
+                resume_s = t_resume;
+
+                // Cold path: a restart without a snapshot re-ingests the
+                // dataset from its triples file, then compiles and runs
+                // from scratch. Ingest is timed on the serialized text
+                // (the parse a `gkeys match` restart pays); compile+run
+                // are timed on the in-memory graph so the resumed pair
+                // set can be verified byte-identical against them.
+                std::string text = SerializeGraph(data.graph);
+                double t_cold_ingest = 1e9;
+                for (int r = 0; r < kReps; ++r) {
+                  Timer ingest_timer;
+                  auto ingested = DeserializeGraph(text);
+                  if (!ingested.ok()) {
+                    state.SkipWithError(
+                        ingested.status().ToString().c_str());
+                    return;
+                  }
+                  t_cold_ingest =
+                      std::min(t_cold_ingest, ingest_timer.Seconds());
+                  benchmark::DoNotOptimize(ingested->NumNodes());
+                }
+                cold_ingest_s = t_cold_ingest;
+                double t_cold_compile = 1e9, t_cold_run = 1e9;
+                StatusOr<MatchResult> cold = MatchResult();
+                for (int r = 0; r < kReps; ++r) {
+                  Timer compile_timer;
+                  auto fresh = Matcher::Compile(data.graph, data.keys,
+                                                PlanOptions::For(algo, 1));
+                  if (!fresh.ok()) {
+                    state.SkipWithError(
+                        fresh.status().ToString().c_str());
+                    return;
+                  }
+                  double c = compile_timer.Seconds();
+                  Timer run_timer;
+                  cold = matcher.Run(*fresh);
+                  if (!cold.ok()) {
+                    state.SkipWithError(
+                        cold.status().ToString().c_str());
+                    return;
+                  }
+                  t_cold_compile = std::min(t_cold_compile, c);
+                  t_cold_run = std::min(t_cold_run, run_timer.Seconds());
+                }
+                cold_compile_s = t_cold_compile;
+                cold_run_s = t_cold_run;
+                pairs = resumed_pairs.size();
+                mismatch = resumed_pairs != cold->pairs;
+                benchmark::DoNotOptimize(pairs);
+              }
+              std::remove(path.c_str());
+              if (mismatch) {
+                state.SkipWithError(
+                    "load+resume diverged from cold compile+run");
+                return;
+              }
+              double restart_s = load_s + resume_s;
+              double cold_s = cold_ingest_s + cold_compile_s + cold_run_s;
+              state.counters["pending_triples"] =
+                  static_cast<double>(pending);
+              state.counters["snapshot_bytes"] = snapshot_bytes;
+              state.counters["save_s"] = save_s;
+              state.counters["load_s"] = load_s;
+              state.counters["resume_s"] = resume_s;
+              state.counters["cold_ingest_s"] = cold_ingest_s;
+              state.counters["cold_compile_s"] = cold_compile_s;
+              state.counters["cold_run_s"] = cold_run_s;
+              state.counters["speedup"] =
+                  restart_s > 0 ? cold_s / restart_s : 0;
+              state.counters["pairs"] = static_cast<double>(pairs);
+              JsonRow(name,
+                      {{"triples", static_cast<double>(triples.size())},
+                       {"scale", scale},
+                       {"pending_triples", static_cast<double>(pending)},
+                       {"pending_frac", frac},
+                       {"snapshot_bytes", snapshot_bytes},
+                       {"save_s", save_s},
+                       {"load_s", load_s},
+                       {"resume_s", resume_s},
+                       {"restart_s", restart_s},
+                       {"cold_ingest_s", cold_ingest_s},
+                       {"cold_compile_s", cold_compile_s},
+                       {"cold_run_s", cold_run_s},
+                       {"cold_s", cold_s},
+                       {"speedup", restart_s > 0 ? cold_s / restart_s : 0},
+                       {"pairs", static_cast<double>(pairs)}});
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gkeys
+
+int main(int argc, char** argv) {
+  gkeys::bench::InitJson(&argc, argv);
+  gkeys::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  gkeys::bench::FlushJson();
+  return 0;
+}

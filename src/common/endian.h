@@ -1,0 +1,139 @@
+#ifndef GKEYS_COMMON_ENDIAN_H_
+#define GKEYS_COMMON_ENDIAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gkeys {
+
+/// Big-endian and varint primitives shared by the storage layer (and
+/// reusable by a future RPC layer). Fixed-width big-endian integers keep
+/// lexicographic byte order equal to numeric order — the property
+/// ordered-KV record keys rely on — and LEB128-style varints keep
+/// length-prefixed record payloads compact.
+
+inline void PutBe32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>(v >> 16));
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v));
+}
+
+inline void PutBe64(std::string& out, uint64_t v) {
+  PutBe32(out, static_cast<uint32_t>(v >> 32));
+  PutBe32(out, static_cast<uint32_t>(v));
+}
+
+/// Reads 4 (resp. 8) bytes at `p`. The caller guarantees the bytes exist;
+/// use ByteReader for untrusted input.
+inline uint32_t GetBe32(const void* p) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  return (static_cast<uint32_t>(b[0]) << 24) |
+         (static_cast<uint32_t>(b[1]) << 16) |
+         (static_cast<uint32_t>(b[2]) << 8) | static_cast<uint32_t>(b[3]);
+}
+
+inline uint64_t GetBe64(const void* p) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  return (static_cast<uint64_t>(GetBe32(b)) << 32) | GetBe32(b + 4);
+}
+
+/// LEB128 unsigned varint: 7 bits per byte, high bit = continuation.
+/// At most 10 bytes for a uint64.
+inline void PutVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Decodes a varint from [p, end). Returns the byte just past the varint,
+/// or nullptr on truncation / overlong (> 10 bytes) input.
+inline const char* GetVarint(const char* p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 70) {
+    uint64_t byte = static_cast<unsigned char>(*p++);
+    result |= (byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+/// Bounds-checked sequential decoder over an untrusted byte span. Every
+/// accessor returns false on truncation (the reader then stays failed);
+/// decoding never reads out of bounds, so corrupt snapshot payloads
+/// surface as Status errors instead of crashes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (failed_ || data_.size() - pos_ < 1) return Fail();
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadBe32(uint32_t* v) {
+    if (failed_ || data_.size() - pos_ < 4) return Fail();
+    *v = GetBe32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadBe64(uint64_t* v) {
+    if (failed_ || data_.size() - pos_ < 8) return Fail();
+    *v = GetBe64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadVarint(uint64_t* v) {
+    if (failed_) return false;
+    const char* next =
+        GetVarint(data_.data() + pos_, data_.data() + data_.size(), v);
+    if (next == nullptr) return Fail();
+    pos_ = static_cast<size_t>(next - data_.data());
+    return true;
+  }
+
+  /// Varint that must fit a uint32 (NodeIds, Symbols, counts).
+  bool ReadVarint32(uint32_t* v) {
+    uint64_t wide = 0;
+    if (!ReadVarint(&wide) || wide > UINT32_MAX) return Fail();
+    *v = static_cast<uint32_t>(wide);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (failed_ || data_.size() - pos_ < n) return Fail();
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return !failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace gkeys
+
+#endif  // GKEYS_COMMON_ENDIAN_H_

@@ -87,6 +87,14 @@ EmContext::EmContext(const Graph& g, const KeySet& keys,
   BuildDependencyIndex(nullptr, nullptr);
 }
 
+EmContext::EmContext(DeserializeShell, const Graph& g, const KeySet& keys,
+                     const EmOptions& opts)
+    : g_(&g), keys_(&keys), opts_(opts) {
+  // Compiling the keys is cheap and deterministic; the expensive build
+  // phases are replaced by storage::PlanCodec restoring their outputs.
+  CompileKeys();
+}
+
 const std::vector<int>& EmContext::KeysForType(Symbol t) const {
   static const std::vector<int> kEmpty;
   auto it = keys_by_type_.find(t);
@@ -421,7 +429,6 @@ void EmContext::BuildDependencyIndex(const EmContext* prev,
   // matters for sub-millisecond plan patches).
   const int p =
       candidates_.size() < 256 ? 1 : std::max(1, opts_.processors);
-  dependents_.assign(candidates_.size(), {});
   depends_on_pairs_.assign(candidates_.size(), {});
   // Scan phase: for each candidate j with a recursive key, every
   // same-type pair of keyed entities lying inside j's neighbors (one per
@@ -480,8 +487,16 @@ void EmContext::BuildDependencyIndex(const EmContext* prev,
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
   });
+  InvertDependencyIndex();
+}
+
+void EmContext::InvertDependencyIndex() {
   // Inversion: pairs in L become dependency edges (dependents_[i] ∋ j);
-  // excluded pairs with dependents become ghosts.
+  // excluded pairs with dependents become ghosts. Deterministic given
+  // depends_on_pairs_ + candidates_, so the storage layer replays it on
+  // load instead of persisting the derived index.
+  dependents_.assign(candidates_.size(), {});
+  ghosts_.clear();
   std::unordered_map<uint64_t, uint32_t> in_l;
   in_l.reserve(candidates_.size() * 2);
   for (uint32_t i = 0; i < candidates_.size(); ++i) {
@@ -990,6 +1005,15 @@ size_t EmContext::MemoryBytes() const {
         }
       }
     }
+  }
+  return bytes;
+}
+
+size_t ProvenanceIndexBytes(const std::vector<Derivation>& derivations) {
+  size_t bytes = derivations.capacity() * sizeof(Derivation);
+  for (const Derivation& d : derivations) {
+    bytes += d.premises.capacity() * sizeof(std::pair<NodeId, NodeId>) +
+             d.triples.capacity() * sizeof(WitnessTriple);
   }
   return bytes;
 }

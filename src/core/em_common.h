@@ -23,6 +23,10 @@
 
 namespace gkeys {
 
+namespace storage {
+class PlanCodec;  // snapshot (de)serialization, src/storage/plan_codec.h
+}  // namespace storage
+
 /// Which entity-matching algorithm to run (paper §6 "Algorithms").
 enum class Algorithm {
   kNaiveChase,  // sequential reference chase (correctness oracle)
@@ -88,7 +92,13 @@ struct EmStats {
   size_t product_graph_edges = 0;  // |Ep|
   uint64_t neighbor_nodes = 0;   // Σ |Gd| over candidate entities
   uint64_t neighbor_nodes_reduced = 0;  // after pairing reduction
-  size_t plan_bytes = 0;           // approx. heap footprint of the plan
+  /// Approximate heap footprint of the plan PLUS the result's provenance
+  /// index, in bytes. Capacity-based (vector capacities, not allocator
+  /// truth), so it is an in-memory figure: a serialized snapshot of the
+  /// same plan is typically much smaller — varint packing, no capacity
+  /// slack, and COW-shared sections stored once (see docs/ARCHITECTURE.md
+  /// "Storage layer").
+  size_t plan_bytes = 0;
   SearchStats search;
   // ---- Incremental re-matching accounting (Matcher::Rematch) ----------
   size_t rematch_seeded = 0;       // 1: this run was seeded from prev
@@ -144,6 +154,13 @@ struct MatchResult {
   std::vector<Derivation> derivations;
   EmStats stats;
 };
+
+/// Approximate heap footprint of a provenance index in bytes: the
+/// Derivation vector plus every entry's premises/triples payload.
+/// Capacity-based, matching EmContext::MemoryBytes, and folded into
+/// EmStats::plan_bytes by the Matcher so the number reflects everything
+/// a seeded rematch keeps resident.
+size_t ProvenanceIndexBytes(const std::vector<Derivation>& derivations);
 
 /// Observer for streaming runs (Matcher::Run(plan, sink)): receives every
 /// confirmed pair exactly once, a progress snapshot after every round of
@@ -484,6 +501,25 @@ class EmContext {
   size_t MemoryBytes() const;
 
  private:
+  // The snapshot codec serializes/rebuilds the private compiled state
+  // directly (slots, pools, signature indexes, dependency scans) — going
+  // through the public API would force a full recompile on load, which
+  // is exactly what persistence is meant to avoid. MatchPlan is a friend
+  // because its nested Rep constructs the deserialization shell.
+  friend class storage::PlanCodec;
+  friend class MatchPlan;
+
+  /// Tag for the deserialization shell constructor below.
+  struct DeserializeShell {};
+
+  /// Storage-layer entry point: binds graph/keys/options and compiles the
+  /// keys (cheap and deterministic), leaving every other member empty for
+  /// storage::PlanCodec to fill from snapshot records instead of running
+  /// the expensive build phases (d-neighbors, enumeration, pairing,
+  /// dependency scan).
+  EmContext(DeserializeShell, const Graph& g, const KeySet& keys,
+            const EmOptions& opts);
+
   static constexpr uint32_t kNoSlot = UINT32_MAX;
 
   // ---- Signature index (blocking), kept per plan so a patch re-signs
@@ -571,6 +607,12 @@ class EmContext {
   /// re-walking their neighbor balls.
   void BuildDependencyIndex(const EmContext* prev,
                             const std::vector<int64_t>* reuse);
+
+  /// Derives dependents_/ghosts_ from depends_on_pairs_ + candidates_
+  /// (the inversion tail of BuildDependencyIndex). Deterministic given
+  /// those inputs; the snapshot codec calls it after restoring the raw
+  /// scans so the derived index never needs serializing.
+  void InvertDependencyIndex();
 
   /// All signature sources of `cp` (BFS over the pattern from x).
   static std::vector<SigSource> FindSigSources(const CompiledPattern& cp);

@@ -107,10 +107,14 @@ class MatchPlan {
 
   /// Approximate heap footprint of the compiled structures in bytes
   /// (candidates, neighbor sets, dependency index, product graph);
-  /// reported as EmStats::plan_bytes. The estimate is capacity-based
-  /// (see EmContext::MemoryBytes) and computed lazily on first access —
+  /// EmStats::plan_bytes reports this plus the result's provenance index
+  /// (ProvenanceIndexBytes). The estimate is capacity-based (see
+  /// EmContext::MemoryBytes) and computed lazily on first access —
   /// walking every capacity is measurable next to a sub-millisecond
-  /// Patch. 0 on an empty plan.
+  /// Patch. 0 on an empty plan. This is an IN-MEMORY figure, distinct
+  /// from the serialized snapshot size (MmapStore::file_bytes): the
+  /// snapshot varint-packs payloads, carries no capacity slack, and
+  /// stores COW-shared sections once, so it is typically much smaller.
   size_t memory_bytes() const {
     if (!valid()) return 0;
     size_t cached = rep_->memory_bytes.load(std::memory_order_relaxed);
@@ -194,6 +198,9 @@ class MatchPlan {
   friend StatusOr<MatchPlan> CompileMatchPlan(const Graph& g,
                                               const KeySet& keys,
                                               const PlanOptions& opts);
+  // Snapshot (de)serialization constructs Reps via the shell constructor
+  // below and fills the context from storage records.
+  friend class storage::PlanCodec;
 
   struct Rep {
     Rep(const Graph& g, const KeySet& k, const PlanOptions& popts,
@@ -204,6 +211,12 @@ class MatchPlan {
     Rep(const EmContext& prev, const KeySet& k, const PlanOptions& popts,
         std::span<const NodeId> dirty_nodes, ContextPatchInfo* info)
         : keys(&k), options(popts), ctx(prev, dirty_nodes, info) {}
+
+    // Deserialization shell (storage::PlanCodec): the context binds
+    // graph/keys and compiles the keys; the codec restores the rest.
+    Rep(EmContext::DeserializeShell shell, const Graph& g, const KeySet& k,
+        const PlanOptions& popts, const EmOptions& eopts)
+        : keys(&k), options(popts), ctx(shell, g, k, eopts) {}
 
     const KeySet* keys;
     PlanOptions options;

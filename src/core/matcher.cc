@@ -61,7 +61,8 @@ StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
   // Honest accounting for amortized prep: the plan was compiled once,
   // possibly long ago; every run still reports what that cost.
   r->stats.prep_seconds = plan.compile_seconds();
-  r->stats.plan_bytes = plan.memory_bytes();
+  r->stats.plan_bytes =
+      plan.memory_bytes() + ProvenanceIndexBytes(r->derivations);
   return r;
 }
 
@@ -192,7 +193,8 @@ StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
   r->stats.rematch_seeded = 1;
   r->stats.derivations_retracted = retained.retracted;
   r->stats.prep_seconds = plan.compile_seconds();
-  r->stats.plan_bytes = plan.memory_bytes();
+  r->stats.plan_bytes =
+      plan.memory_bytes() + ProvenanceIndexBytes(r->derivations);
   return r;
 }
 

@@ -10,6 +10,10 @@
 
 namespace gkeys {
 
+namespace storage {
+class Snapshot;  // src/storage/snapshot.h
+}  // namespace storage
+
 /// Options steering Matcher::Rematch's execution strategy. Orthogonal to
 /// EmOptions (which shape the fixpoint itself): these only decide HOW an
 /// incremental re-run uses the previous result.
@@ -235,6 +239,18 @@ class Matcher {
                                 MatchSink& sink) const {
     return RematchWithSink(plan, prev, delta, &sink);
   }
+
+  /// Restart path: continues from a loaded storage::Snapshot (see
+  /// src/storage/snapshot.h). Applies `pending` — the deltas that
+  /// arrived while the process was down — to the snapshot's graph, then
+  /// Patch + Rematch, exactly the in-memory incremental lifecycle. The
+  /// snapshot is updated in place to the post-delta plan/result, so
+  /// successive Resume calls chain. An empty `pending` returns the
+  /// stored result as-is (no patch, no rematch). Defined in
+  /// storage/snapshot.cc so the core library stays layered below the
+  /// storage subsystem.
+  StatusOr<MatchResult> Resume(storage::Snapshot& snapshot,
+                               const GraphDelta& pending) const;
 
  private:
   Status Validate(const MatchPlan& plan) const;

@@ -67,6 +67,9 @@ class ProductGraph {
       const ProductGraph& prev, const EmContext& ctx,
       const std::vector<int64_t>& candidate_reuse,
       std::span<const NodeId> graph_dirty);
+  // Snapshot (de)serialization: restores nodes_ and the relation pool,
+  // then replays Finish() to rebuild the derived adjacency.
+  friend class storage::PlanCodec;
 
   using Relation = std::vector<uint64_t>;
 

@@ -162,13 +162,18 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 
 StatusOr<GraphDelta> ParseDelta(std::string_view text,
                                 const LoadedGraph& lg) {
-  const Graph& g = lg.graph;
+  return ParseDelta(text, lg.graph, lg.entities);
+}
+
+StatusOr<GraphDelta> ParseDelta(
+    std::string_view text, const Graph& g,
+    const std::unordered_map<std::string, NodeId>& base_entities) {
   GraphDelta delta(g);
   // Entity tokens resolve by identity against the loader's table, plus
   // whatever this delta stages — NEVER by re-deriving ids from the
   // graph, which would re-bind tokens differently than the graph file
   // they came from.
-  std::unordered_map<std::string, NodeId> entities = lg.entities;
+  std::unordered_map<std::string, NodeId> entities = base_entities;
 
   int line_no = 0;
   size_t pos = 0;

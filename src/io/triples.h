@@ -64,6 +64,13 @@ StatusOr<std::string> ReadFile(const std::string& path);
 /// skipped. Malformed lines are InvalidArgument naming the line number.
 StatusOr<GraphDelta> ParseDelta(std::string_view text, const LoadedGraph& lg);
 
+/// Same, against a graph and entity-reference table held separately —
+/// e.g. a restored storage::Snapshot, which owns its graph and carries
+/// the saved ent-token table (Snapshot::entity_names).
+StatusOr<GraphDelta> ParseDelta(
+    std::string_view text, const Graph& g,
+    const std::unordered_map<std::string, NodeId>& base_entities);
+
 }  // namespace gkeys
 
 #endif  // GKEYS_IO_TRIPLES_H_

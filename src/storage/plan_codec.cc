@@ -1,0 +1,786 @@
+#include "storage/plan_codec.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/endian.h"
+#include "core/product_graph.h"
+#include "graph/neighborhood.h"
+
+namespace gkeys {
+namespace storage {
+
+namespace {
+
+std::string Key1(char prefix) { return std::string(1, prefix); }
+
+std::string KeyBe32(char prefix, uint32_t id) {
+  std::string k(1, prefix);
+  PutBe32(k, id);
+  return k;
+}
+
+std::string KeyBe64(char prefix, uint64_t id) {
+  std::string k(1, prefix);
+  PutBe64(k, id);
+  return k;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("corrupt snapshot: " + what);
+}
+
+/// Sorted ascending uint64 list, delta-encoded.
+void PutDeltaList64(std::string& out, const std::vector<uint64_t>& vals) {
+  PutVarint(out, vals.size());
+  uint64_t prev = 0;
+  for (uint64_t v : vals) {
+    PutVarint(out, v - prev);
+    prev = v;
+  }
+}
+
+bool ReadDeltaList64(ByteReader& r, uint64_t max_count,
+                     std::vector<uint64_t>* out) {
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count) || count > max_count) return false;
+  out->clear();
+  out->reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t d = 0;
+    if (!r.ReadVarint(&d)) return false;
+    prev += d;
+    out->push_back(prev);
+  }
+  return true;
+}
+
+/// Sorted ascending NodeId list, delta-encoded.
+void PutDeltaList32(std::string& out, const std::vector<NodeId>& vals) {
+  PutVarint(out, vals.size());
+  NodeId prev = 0;
+  for (NodeId v : vals) {
+    PutVarint(out, v - prev);
+    prev = v;
+  }
+}
+
+bool ReadDeltaList32(ByteReader& r, uint64_t max_value,
+                     std::vector<NodeId>* out) {
+  uint64_t count = 0;
+  if (!r.ReadVarint(&count) || count > max_value + 1) return false;
+  out->clear();
+  out->reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t d = 0;
+    if (!r.ReadVarint(&d)) return false;
+    prev += d;
+    if (prev > max_value) return false;
+    out->push_back(static_cast<NodeId>(prev));
+  }
+  return true;
+}
+
+/// Content-deduplicating pool of COW-shared payloads: pointer identity
+/// short-circuits payloads literally shared across plan generations;
+/// equal content stored under distinct pointers still collapses to one
+/// record.
+template <typename T, typename ContentKey>
+class DedupPool {
+ public:
+  uint64_t Id(const std::shared_ptr<const T>& item, ContentKey content) {
+    auto by_ptr = by_ptr_.find(item.get());
+    if (by_ptr != by_ptr_.end()) return by_ptr->second;
+    auto [it, inserted] =
+        by_content_.emplace(std::move(content), items_.size());
+    if (inserted) items_.push_back(item.get());
+    by_ptr_.emplace(item.get(), it->second);
+    return it->second;
+  }
+
+  const std::vector<const T*>& items() const { return items_; }
+
+ private:
+  std::unordered_map<const T*, uint64_t> by_ptr_;
+  std::map<ContentKey, uint64_t> by_content_;
+  std::vector<const T*> items_;
+};
+
+using NodeSetPool = DedupPool<NodeSet, std::vector<NodeId>>;
+using RelationPool =
+    DedupPool<std::vector<uint64_t>, std::vector<uint64_t>>;
+
+}  // namespace
+
+// ---- Meta ------------------------------------------------------------
+
+Status PlanCodec::EncodeMeta(const SnapshotMeta& meta, Store& store) {
+  std::string v;
+  v.push_back(static_cast<char>(meta.algorithm));
+  const EmOptions& em = meta.em_options;
+  PutVarint(v, static_cast<uint64_t>(em.processors));
+  uint8_t em_flags = (em.use_vf2 << 0) | (em.use_pairing << 1) |
+                     (em.use_dependency << 2) | (em.use_incremental << 3) |
+                     (em.use_blocking << 4) | (em.prioritized << 5) |
+                     (em.record_provenance << 6);
+  v.push_back(static_cast<char>(em_flags));
+  PutVarint(v, static_cast<uint64_t>(em.bounded_messages));
+  const PlanOptions& po = meta.plan_options;
+  PutVarint(v, static_cast<uint64_t>(po.processors));
+  uint8_t po_flags = (po.use_pairing << 0) | (po.use_blocking << 1) |
+                     (po.build_product_graph << 2);
+  v.push_back(static_cast<char>(po_flags));
+  v.push_back(static_cast<char>(meta.has_product_graph));
+  v.push_back(static_cast<char>(meta.has_entity_names));
+  for (uint64_t n :
+       {meta.num_symbols, meta.num_nodes, meta.num_candidates,
+        meta.num_pool_sets, meta.num_relations, meta.num_sig_types,
+        meta.num_derivations, meta.num_pairs, meta.candidates_initial,
+        meta.candidates_blocked, meta.neighbor_nodes,
+        meta.neighbor_nodes_reduced}) {
+    PutVarint(v, n);
+  }
+  return store.Put(Key1('M'), std::move(v));
+}
+
+StatusOr<SnapshotMeta> PlanCodec::DecodeMeta(const Store& store) {
+  auto blob = store.Get(Key1('M'));
+  if (!blob.ok()) return Corrupt("missing meta record");
+  ByteReader r(*blob);
+  SnapshotMeta meta;
+  uint8_t algo = 0, em_flags = 0, po_flags = 0, has_pg = 0, has_names = 0;
+  uint64_t em_procs = 0, em_bounded = 0, po_procs = 0;
+  if (!r.ReadU8(&algo) || !r.ReadVarint(&em_procs) || !r.ReadU8(&em_flags) ||
+      !r.ReadVarint(&em_bounded) || !r.ReadVarint(&po_procs) ||
+      !r.ReadU8(&po_flags) || !r.ReadU8(&has_pg) || !r.ReadU8(&has_names)) {
+    return Corrupt("truncated meta record");
+  }
+  if (algo > static_cast<uint8_t>(Algorithm::kEmOptVc))
+    return Corrupt("unknown algorithm id " + std::to_string(algo));
+  meta.algorithm = static_cast<Algorithm>(algo);
+  meta.em_options.processors = static_cast<int>(em_procs);
+  meta.em_options.use_vf2 = em_flags & 1;
+  meta.em_options.use_pairing = em_flags & 2;
+  meta.em_options.use_dependency = em_flags & 4;
+  meta.em_options.use_incremental = em_flags & 8;
+  meta.em_options.use_blocking = em_flags & 16;
+  meta.em_options.prioritized = em_flags & 32;
+  meta.em_options.record_provenance = em_flags & 64;
+  meta.em_options.bounded_messages = static_cast<int>(em_bounded);
+  meta.plan_options.processors = static_cast<int>(po_procs);
+  meta.plan_options.use_pairing = po_flags & 1;
+  meta.plan_options.use_blocking = po_flags & 2;
+  meta.plan_options.build_product_graph = po_flags & 4;
+  meta.has_product_graph = has_pg != 0;
+  meta.has_entity_names = has_names != 0;
+  for (uint64_t* n :
+       {&meta.num_symbols, &meta.num_nodes, &meta.num_candidates,
+        &meta.num_pool_sets, &meta.num_relations, &meta.num_sig_types,
+        &meta.num_derivations, &meta.num_pairs, &meta.candidates_initial,
+        &meta.candidates_blocked, &meta.neighbor_nodes,
+        &meta.neighbor_nodes_reduced}) {
+    if (!r.ReadVarint(n)) return Corrupt("truncated meta counts");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes in meta record");
+  if (meta.num_nodes > UINT32_MAX || meta.num_symbols > UINT32_MAX)
+    return Corrupt("node/symbol count out of range");
+  return meta;
+}
+
+// ---- Graph + interner ------------------------------------------------
+
+Status PlanCodec::EncodeGraph(const Graph& g, Store& store,
+                              SnapshotMeta* meta) {
+  const StringInterner& interner = g.interner();
+  for (Symbol s = 0; s < interner.size(); ++s) {
+    GKEYS_RETURN_IF_ERROR(store.Put(KeyBe32('S', s), interner.Resolve(s)));
+  }
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    std::string v;
+    v.push_back(g.IsEntity(n) ? 0 : 1);
+    PutBe32(v, g.IsEntity(n) ? g.entity_type(n) : g.value_sym(n));
+    GKEYS_RETURN_IF_ERROR(store.Put(KeyBe64('N', n), std::move(v)));
+    auto out = g.Out(n);
+    if (out.empty()) continue;
+    std::string e;
+    PutVarint(e, out.size());
+    for (const Edge& edge : out) {
+      PutVarint(e, edge.pred);
+      PutVarint(e, edge.dst);
+    }
+    GKEYS_RETURN_IF_ERROR(store.Put(KeyBe64('E', n), std::move(e)));
+  }
+  meta->num_symbols = interner.size();
+  meta->num_nodes = g.NumNodes();
+  return Status::OK();
+}
+
+StatusOr<Graph> PlanCodec::DecodeGraph(const Store& store,
+                                       const SnapshotMeta& meta) {
+  Graph g;
+  // Interner replay in symbol order reproduces every id (including
+  // symbols no node references, e.g. predicates seen only in key DSL).
+  for (Symbol s = 0; s < meta.num_symbols; ++s) {
+    auto v = store.Get(KeyBe32('S', s));
+    if (!v.ok()) return Corrupt("missing string record " + std::to_string(s));
+    if (g.Intern(*v) != s)
+      return Corrupt("duplicate interned string at symbol " +
+                     std::to_string(s));
+  }
+  // Nodes in id order: AddEntity/AddValue assign ids sequentially, so the
+  // replay reproduces kinds, labels, per-type tables, and the value map.
+  for (NodeId n = 0; n < meta.num_nodes; ++n) {
+    auto v = store.Get(KeyBe64('N', n));
+    if (!v.ok()) return Corrupt("missing node record " + std::to_string(n));
+    ByteReader r(*v);
+    uint8_t kind = 0;
+    uint32_t label = 0;
+    if (!r.ReadU8(&kind) || !r.ReadBe32(&label) || !r.AtEnd() || kind > 1 ||
+        label >= meta.num_symbols) {
+      return Corrupt("bad node record " + std::to_string(n));
+    }
+    NodeId got = kind == 0 ? g.AddEntity(label)
+                           : g.AddValue(g.interner().Resolve(label));
+    if (got != n)
+      return Corrupt("node record " + std::to_string(n) +
+                     " does not replay to its id (duplicate value?)");
+  }
+  // Out-edge runs carry every triple once (in-edges are the transpose).
+  Status scan = store.Scan("E", [&](std::string_view key,
+                                    std::string_view value) -> Status {
+    if (key.size() != 9) return Corrupt("bad edge-record key length");
+    uint64_t src = GetBe64(key.data() + 1);
+    if (src >= meta.num_nodes) return Corrupt("edge record for unknown node");
+    ByteReader r(value);
+    uint64_t count = 0;
+    if (!r.ReadVarint(&count) || count > value.size())
+      return Corrupt("bad edge count");
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t pred = 0, dst = 0;
+      if (!r.ReadVarint32(&pred) || !r.ReadVarint32(&dst) ||
+          pred >= meta.num_symbols || dst >= meta.num_nodes) {
+        return Corrupt("bad edge in node " + std::to_string(src));
+      }
+      Status st = g.AddTriple(static_cast<NodeId>(src), Symbol{pred},
+                              static_cast<NodeId>(dst));
+      if (!st.ok()) return Corrupt("unreplayable edge: " + st.message());
+    }
+    if (!r.AtEnd()) return Corrupt("trailing bytes in edge record");
+    return Status::OK();
+  });
+  GKEYS_RETURN_IF_ERROR(scan);
+  g.Finalize();
+  return g;
+}
+
+// ---- Plan ------------------------------------------------------------
+
+Status PlanCodec::EncodePlan(const MatchPlan& plan, Store& store,
+                             SnapshotMeta* meta) {
+  const MatchPlan::Rep& rep = *plan.rep_;
+  const EmContext& ctx = rep.ctx;
+  meta->plan_options = rep.options;
+  meta->em_options = ctx.opts_;
+  meta->has_product_graph = rep.pg.has_value();
+  meta->num_candidates = ctx.candidates_.size();
+  meta->candidates_initial = ctx.candidates_initial_;
+  meta->candidates_blocked = ctx.candidates_blocked_;
+  meta->neighbor_nodes = ctx.neighbor_nodes_;
+  meta->neighbor_nodes_reduced = ctx.neighbor_nodes_reduced_;
+
+  // NodeSet pool: d-neighbor sets and pairing-reduced sets,
+  // content-deduplicated — a lineage of patched plans shares most
+  // payloads, and they are stored exactly once.
+  NodeSetPool pool;
+  std::vector<uint64_t> slot_pool_ids(ctx.dneighbor_sets_.size());
+  for (size_t i = 0; i < ctx.dneighbor_sets_.size(); ++i) {
+    slot_pool_ids[i] =
+        pool.Id(ctx.dneighbor_sets_[i], ctx.dneighbor_sets_[i]->sorted());
+  }
+  std::vector<uint64_t> reduced_pool_ids(ctx.reduced_pool_.size());
+  for (size_t i = 0; i < ctx.reduced_pool_.size(); ++i) {
+    reduced_pool_ids[i] =
+        pool.Id(ctx.reduced_pool_[i], ctx.reduced_pool_[i]->sorted());
+  }
+
+  // Slot → entity inversion (dneighbor_slot_ is the dense transpose).
+  std::vector<NodeId> slot_entity(ctx.dneighbor_sets_.size(), kNoNode);
+  for (NodeId n = 0; n < ctx.dneighbor_slot_.size(); ++n) {
+    uint32_t slot = ctx.dneighbor_slot_[n];
+    if (slot != UINT32_MAX) slot_entity[slot] = n;
+  }
+
+  const bool pairing = ctx.opts_.use_pairing;
+  std::string p;
+  PutVarint(p, slot_entity.size());
+  for (size_t i = 0; i < slot_entity.size(); ++i) {
+    PutVarint(p, slot_entity[i]);
+    PutVarint(p, slot_pool_ids[i]);
+  }
+  PutVarint(p, ctx.candidates_.size());
+  for (size_t i = 0; i < ctx.candidates_.size(); ++i) {
+    const Candidate& c = ctx.candidates_[i];
+    PutVarint(p, c.e1);
+    PutVarint(p, c.e2);
+    uint8_t flags = (c.has_recursive_key << 0) | (c.has_value_based_key << 1);
+    p.push_back(static_cast<char>(flags));
+    if (pairing) {
+      // Assembly invariant: candidate i's sides are reduced_pool_[2i]
+      // and [2i+1] (the patch constructor preserves it).
+      PutVarint(p, reduced_pool_ids[2 * i]);
+      PutVarint(p, reduced_pool_ids[2 * i + 1]);
+    }
+  }
+  // Raw dependency scans; the derived dependents_/ghosts_ re-invert on
+  // load (InvertDependencyIndex is deterministic given these).
+  for (const std::vector<uint64_t>& deps : ctx.depends_on_pairs_) {
+    PutDeltaList64(p, deps);
+  }
+  GKEYS_RETURN_IF_ERROR(store.Put(Key1('P'), std::move(p)));
+
+  // Signature indexes, overlays folded into an effective base — read
+  // behavior is identical (ValuesOf/ForEachMember see the same data),
+  // and the loaded plan starts overlay-free like a compacted one.
+  meta->num_sig_types = ctx.sig_index_.size();
+  for (const auto& [type, idx] : ctx.sig_index_) {
+    std::string x;
+    x.push_back(idx != nullptr && idx->blockable ? 1 : 0);
+    uint64_t nkeys = idx == nullptr ? 0 : idx->keys.size();
+    PutVarint(x, nkeys);
+    if (idx != nullptr) {
+      for (const EmContext::SigPerKey& pk : idx->keys) {
+        PutVarint(x, static_cast<uint64_t>(pk.key));
+        x.push_back(pk.source.constant != kNoNode ? 1 : 0);
+        if (pk.source.constant != kNoNode) PutVarint(x, pk.source.constant);
+        PutVarint(x, pk.source.path.size());
+        for (const EmContext::SigStep& step : pk.source.path) {
+          PutVarint(x, step.pred);
+          x.push_back(step.forward ? 1 : 0);
+          PutVarint(x, static_cast<uint64_t>(step.to_node));
+        }
+        std::map<NodeId, const std::vector<NodeId>*> effective;
+        for (const auto& [e, vals] : *pk.entity_values) {
+          if (pk.patched_values.find(e) == pk.patched_values.end() &&
+              !vals.empty()) {
+            effective[e] = &vals;
+          }
+        }
+        for (const auto& [e, vals] : pk.patched_values) {
+          if (!vals.empty()) effective[e] = &vals;
+        }
+        PutVarint(x, effective.size());
+        for (const auto& [e, vals] : effective) {
+          PutVarint(x, e);
+          PutDeltaList32(x, *vals);
+        }
+      }
+    }
+    GKEYS_RETURN_IF_ERROR(store.Put(KeyBe32('X', type), std::move(x)));
+  }
+
+  // Product graph: only the per-candidate pairing relations persist —
+  // Vp, the edge set, and the counts all replay from them (exactly how
+  // BuildProductGraph derives them).
+  RelationPool relations;
+  if (rep.pg.has_value()) {
+    const ProductGraph& pg = *rep.pg;
+    std::string gp;
+    PutVarint(gp, pg.candidate_pairs_.size());
+    for (const auto& rel : pg.candidate_pairs_) {
+      PutVarint(gp, relations.Id(rel, *rel));
+    }
+    GKEYS_RETURN_IF_ERROR(store.Put(Key1('G'), std::move(gp)));
+    for (size_t i = 0; i < relations.items().size(); ++i) {
+      // Element order is load-bearing: it fixes product-node ids, which
+      // fix the edge-pass output — preserving byte-identical adjacency
+      // for a from-scratch-built plan.
+      std::string rv;
+      const std::vector<uint64_t>& rel = *relations.items()[i];
+      PutVarint(rv, rel.size());
+      for (uint64_t packed : rel) PutVarint(rv, packed);
+      GKEYS_RETURN_IF_ERROR(store.Put(KeyBe64('R', i), std::move(rv)));
+    }
+  }
+  meta->num_relations = relations.items().size();
+
+  // Pool payloads last (ids are now final).
+  for (size_t i = 0; i < pool.items().size(); ++i) {
+    std::string d;
+    PutDeltaList32(d, pool.items()[i]->sorted());
+    GKEYS_RETURN_IF_ERROR(store.Put(KeyBe64('D', i), std::move(d)));
+  }
+  meta->num_pool_sets = pool.items().size();
+  return Status::OK();
+}
+
+StatusOr<MatchPlan> PlanCodec::DecodePlan(const Store& store,
+                                          const SnapshotMeta& meta,
+                                          const Graph& g,
+                                          const KeySet& keys) {
+  if (g.NumNodes() != meta.num_nodes)
+    return Corrupt("graph/meta node-count mismatch");
+  std::shared_ptr<MatchPlan::Rep> rep(
+      new MatchPlan::Rep(EmContext::DeserializeShell{}, g, keys,
+                         meta.plan_options, meta.em_options));
+  EmContext& ctx = rep->ctx;
+
+  // NodeSet pool. Scan order is id order (be64 keys), so sequential
+  // appends reconstruct the pool without trusting meta's count for a
+  // pre-allocation.
+  std::vector<std::shared_ptr<const NodeSet>> pool;
+  Status scan = store.Scan("D", [&](std::string_view key,
+                                    std::string_view value) -> Status {
+    if (key.size() != 9 || GetBe64(key.data() + 1) != pool.size())
+      return Corrupt("non-sequential NodeSet pool record");
+    ByteReader r(value);
+    std::vector<NodeId> nodes;
+    if (!ReadDeltaList32(r, meta.num_nodes - 1, &nodes) || !r.AtEnd())
+      return Corrupt("bad NodeSet pool record " +
+                     std::to_string(pool.size()));
+    pool.push_back(std::make_shared<const NodeSet>(
+        NodeSet::FromSorted(std::move(nodes))));
+    return Status::OK();
+  });
+  GKEYS_RETURN_IF_ERROR(scan);
+  if (pool.size() != meta.num_pool_sets)
+    return Corrupt("NodeSet pool count mismatch");
+
+  // Plan blob: slots, candidates, dependency scans.
+  auto p_blob = store.Get(Key1('P'));
+  if (!p_blob.ok()) return Corrupt("missing plan record");
+  ByteReader p(*p_blob);
+  uint64_t num_slots = 0;
+  if (!p.ReadVarint(&num_slots) || num_slots > meta.num_nodes)
+    return Corrupt("bad slot count");
+  ctx.dneighbor_slot_.assign(g.NumNodes(), EmContext::kNoSlot);
+  ctx.dneighbor_sets_.resize(num_slots);
+  for (uint64_t i = 0; i < num_slots; ++i) {
+    uint32_t entity = 0;
+    uint64_t pool_id = 0;
+    if (!p.ReadVarint32(&entity) || !p.ReadVarint(&pool_id) ||
+        entity >= g.NumNodes() || pool_id >= pool.size() ||
+        ctx.dneighbor_slot_[entity] != EmContext::kNoSlot) {
+      return Corrupt("bad d-neighbor slot " + std::to_string(i));
+    }
+    ctx.dneighbor_slot_[entity] = static_cast<uint32_t>(i);
+    ctx.dneighbor_sets_[i] = pool[pool_id];
+  }
+  uint64_t num_candidates = 0;
+  if (!p.ReadVarint(&num_candidates) ||
+      num_candidates != meta.num_candidates) {
+    return Corrupt("candidate count mismatch");
+  }
+  const bool pairing = meta.em_options.use_pairing;
+  ctx.candidates_.reserve(num_candidates);
+  if (pairing) ctx.reduced_pool_.reserve(2 * num_candidates);
+  for (uint64_t i = 0; i < num_candidates; ++i) {
+    uint32_t e1 = 0, e2 = 0;
+    uint8_t flags = 0;
+    if (!p.ReadVarint32(&e1) || !p.ReadVarint32(&e2) || !p.ReadU8(&flags) ||
+        e1 >= g.NumNodes() || e2 >= g.NumNodes() || !g.IsEntity(e1)) {
+      return Corrupt("bad candidate " + std::to_string(i));
+    }
+    Candidate c;
+    c.e1 = e1;
+    c.e2 = e2;
+    c.has_recursive_key = flags & 1;
+    c.has_value_based_key = flags & 2;
+    auto keys_it = ctx.keys_by_type_.find(g.entity_type(e1));
+    if (keys_it == ctx.keys_by_type_.end())
+      return Corrupt("candidate of unkeyed type");
+    c.keys = &keys_it->second;
+    if (pairing) {
+      uint64_t p1 = 0, p2 = 0;
+      if (!p.ReadVarint(&p1) || !p.ReadVarint(&p2) || p1 >= pool.size() ||
+          p2 >= pool.size()) {
+        return Corrupt("bad candidate pool refs");
+      }
+      // Re-establish the reduced_pool_[2i]/[2i+1] assembly invariant;
+      // deduplicated entries may share one payload, which is fine —
+      // nothing relies on pointer distinctness.
+      ctx.reduced_pool_.push_back(pool[p1]);
+      c.nbr1 = ctx.reduced_pool_.back().get();
+      ctx.reduced_pool_.push_back(pool[p2]);
+      c.nbr2 = ctx.reduced_pool_.back().get();
+    } else {
+      if (ctx.dneighbor_slot_[e1] == EmContext::kNoSlot ||
+          ctx.dneighbor_slot_[e2] == EmContext::kNoSlot) {
+        return Corrupt("candidate entity without d-neighbor slot");
+      }
+      c.nbr1 = ctx.dneighbor_sets_[ctx.dneighbor_slot_[e1]].get();
+      c.nbr2 = ctx.dneighbor_sets_[ctx.dneighbor_slot_[e2]].get();
+    }
+    ctx.candidates_.push_back(c);
+  }
+  ctx.depends_on_pairs_.resize(num_candidates);
+  for (uint64_t i = 0; i < num_candidates; ++i) {
+    if (!ReadDeltaList64(p, meta.num_nodes * meta.num_nodes + 1,
+                         &ctx.depends_on_pairs_[i])) {
+      return Corrupt("bad dependency scan " + std::to_string(i));
+    }
+  }
+  if (!p.AtEnd()) return Corrupt("trailing bytes in plan record");
+  ctx.candidates_initial_ = meta.candidates_initial;
+  ctx.candidates_blocked_ = meta.candidates_blocked;
+  ctx.neighbor_nodes_ = meta.neighbor_nodes;
+  ctx.neighbor_nodes_reduced_ = meta.neighbor_nodes_reduced;
+  ctx.InvertDependencyIndex();
+
+  // Signature indexes.
+  uint64_t sig_count = 0;
+  scan = store.Scan("X", [&](std::string_view key,
+                             std::string_view value) -> Status {
+    if (key.size() != 5) return Corrupt("bad sig-record key length");
+    uint32_t type = GetBe32(key.data() + 1);
+    if (type >= meta.num_symbols) return Corrupt("sig record for bad type");
+    ByteReader r(value);
+    uint8_t blockable = 0;
+    uint64_t nkeys = 0;
+    if (!r.ReadU8(&blockable) || !r.ReadVarint(&nkeys) ||
+        nkeys > ctx.compiled_.size()) {
+      return Corrupt("bad sig index header");
+    }
+    auto idx = std::make_shared<EmContext::SigIndex>();
+    idx->blockable = blockable != 0;
+    idx->keys.reserve(nkeys);
+    for (uint64_t k = 0; k < nkeys; ++k) {
+      EmContext::SigPerKey pk;
+      uint64_t key_idx = 0;
+      uint8_t has_constant = 0;
+      if (!r.ReadVarint(&key_idx) || key_idx >= ctx.compiled_.size() ||
+          !r.ReadU8(&has_constant)) {
+        return Corrupt("bad sig key header");
+      }
+      pk.key = static_cast<int>(key_idx);
+      if (has_constant != 0) {
+        uint32_t c = 0;
+        if (!r.ReadVarint32(&c) || c >= meta.num_nodes)
+          return Corrupt("bad sig constant");
+        pk.source.constant = c;
+      }
+      uint64_t path_len = 0;
+      if (!r.ReadVarint(&path_len) || path_len > value.size())
+        return Corrupt("bad sig path length");
+      pk.source.path.reserve(path_len);
+      for (uint64_t s = 0; s < path_len; ++s) {
+        uint32_t pred = 0;
+        uint8_t forward = 0;
+        uint64_t to_node = 0;
+        if (!r.ReadVarint32(&pred) || pred >= meta.num_symbols ||
+            !r.ReadU8(&forward) || !r.ReadVarint(&to_node) ||
+            to_node > INT32_MAX) {
+          return Corrupt("bad sig path step");
+        }
+        pk.source.path.push_back(EmContext::SigStep{
+            Symbol{pred}, forward != 0, static_cast<int>(to_node)});
+      }
+      uint64_t nentities = 0;
+      if (!r.ReadVarint(&nentities) || nentities > meta.num_nodes)
+        return Corrupt("bad sig entity count");
+      auto entity_values = std::make_shared<EmContext::SigMap>();
+      auto buckets = std::make_shared<EmContext::SigMap>();
+      entity_values->reserve(nentities);
+      for (uint64_t e = 0; e < nentities; ++e) {
+        uint32_t entity = 0;
+        std::vector<NodeId> vals;
+        if (!r.ReadVarint32(&entity) || entity >= meta.num_nodes ||
+            !ReadDeltaList32(r, meta.num_nodes - 1, &vals) || vals.empty()) {
+          return Corrupt("bad sig entity values");
+        }
+        // Entities arrive ascending, so bucket members stay ascending —
+        // the order the blocked enumeration relies on.
+        for (NodeId v : vals) (*buckets)[v].push_back(entity);
+        (*entity_values)[entity] = std::move(vals);
+      }
+      pk.entity_values = std::move(entity_values);
+      pk.buckets = std::move(buckets);
+      idx->keys.push_back(std::move(pk));
+    }
+    if (!r.AtEnd()) return Corrupt("trailing bytes in sig record");
+    ctx.sig_index_[type] = std::move(idx);
+    ++sig_count;
+    return Status::OK();
+  });
+  GKEYS_RETURN_IF_ERROR(scan);
+  if (sig_count != meta.num_sig_types)
+    return Corrupt("signature index count mismatch");
+
+  // Product graph: restore the relation pool, then replay exactly what
+  // BuildProductGraph derives from it (node interning in relation-scan
+  // order, then the edge pass).
+  if (meta.has_product_graph) {
+    std::vector<std::shared_ptr<const ProductGraph::Relation>> rels;
+    scan = store.Scan("R", [&](std::string_view key,
+                               std::string_view value) -> Status {
+      if (key.size() != 9 || GetBe64(key.data() + 1) != rels.size())
+        return Corrupt("non-sequential relation record");
+      ByteReader r(value);
+      uint64_t count = 0;
+      if (!r.ReadVarint(&count) || count > value.size())
+        return Corrupt("bad relation count");
+      auto rel = std::make_shared<ProductGraph::Relation>();
+      rel->reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t packed = 0;
+        if (!r.ReadVarint(&packed)) return Corrupt("bad relation entry");
+        if ((packed >> 32) >= meta.num_nodes ||
+            (packed & 0xffffffffu) >= meta.num_nodes) {
+          return Corrupt("relation pair out of range");
+        }
+        rel->push_back(packed);
+      }
+      if (!r.AtEnd()) return Corrupt("trailing bytes in relation record");
+      rels.push_back(std::move(rel));
+      return Status::OK();
+    });
+    GKEYS_RETURN_IF_ERROR(scan);
+    if (rels.size() != meta.num_relations)
+      return Corrupt("relation pool count mismatch");
+    auto g_blob = store.Get(Key1('G'));
+    if (!g_blob.ok()) return Corrupt("missing product-graph record");
+    ByteReader gr(*g_blob);
+    uint64_t count = 0;
+    if (!gr.ReadVarint(&count) || count != num_candidates)
+      return Corrupt("product-graph candidate count mismatch");
+    ProductGraph pg;
+    pg.candidate_pairs_.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t rel_id = 0;
+      if (!gr.ReadVarint(&rel_id) || rel_id >= rels.size() ||
+          rels[rel_id] == nullptr) {
+        return Corrupt("bad relation reference");
+      }
+      pg.candidate_pairs_[i] = rels[rel_id];
+      for (uint64_t packed : *pg.candidate_pairs_[i]) {
+        ProductGraph::AddNodeRef(pg, packed);
+      }
+    }
+    if (!gr.AtEnd()) return Corrupt("trailing bytes in product-graph record");
+    ProductGraph::Finish(ctx, pg);
+    rep->pg.emplace(std::move(pg));
+  }
+
+  return MatchPlan(std::shared_ptr<const MatchPlan::Rep>(std::move(rep)));
+}
+
+// ---- Result + provenance index ---------------------------------------
+
+Status PlanCodec::EncodeResult(const MatchResult& result, Store& store,
+                               SnapshotMeta* meta) {
+  std::string a;
+  PutVarint(a, result.pairs.size());
+  for (const auto& [x, y] : result.pairs) {
+    PutVarint(a, x);
+    PutVarint(a, y);
+  }
+  GKEYS_RETURN_IF_ERROR(store.Put(Key1('A'), std::move(a)));
+  for (size_t i = 0; i < result.derivations.size(); ++i) {
+    const Derivation& d = result.derivations[i];
+    std::string v;
+    PutVarint(v, d.e1);
+    PutVarint(v, d.e2);
+    PutVarint(v, static_cast<uint64_t>(d.key + 1));  // -1 encodes as 0
+    PutVarint(v, d.premises.size());
+    for (const auto& [x, y] : d.premises) {
+      PutVarint(v, x);
+      PutVarint(v, y);
+    }
+    PutVarint(v, d.triples.size());
+    for (const WitnessTriple& t : d.triples) {
+      PutVarint(v, t.s);
+      PutVarint(v, t.p);
+      PutVarint(v, t.o);
+    }
+    GKEYS_RETURN_IF_ERROR(store.Put(KeyBe64('V', i), std::move(v)));
+  }
+  meta->num_pairs = result.pairs.size();
+  meta->num_derivations = result.derivations.size();
+  return Status::OK();
+}
+
+StatusOr<MatchResult> PlanCodec::DecodeResult(const Store& store,
+                                              const SnapshotMeta& meta) {
+  MatchResult result;
+  auto a_blob = store.Get(Key1('A'));
+  if (!a_blob.ok()) return Corrupt("missing result record");
+  ByteReader a(*a_blob);
+  uint64_t num_pairs = 0;
+  if (!a.ReadVarint(&num_pairs) || num_pairs != meta.num_pairs ||
+      num_pairs > a_blob->size()) {  // each pair takes >= 2 bytes
+    return Corrupt("result pair count mismatch");
+  }
+  result.pairs.reserve(num_pairs);
+  for (uint64_t i = 0; i < num_pairs; ++i) {
+    uint32_t x = 0, y = 0;
+    if (!a.ReadVarint32(&x) || !a.ReadVarint32(&y) || x >= meta.num_nodes ||
+        y >= meta.num_nodes) {
+      return Corrupt("bad result pair");
+    }
+    result.pairs.emplace_back(x, y);
+  }
+  if (!a.AtEnd()) return Corrupt("trailing bytes in result record");
+
+  // Scan order is index order (be64 keys), so sequential appends keep
+  // the replayable ordering without trusting meta's count up front.
+  Status scan = store.Scan("V", [&](std::string_view key,
+                                    std::string_view value) -> Status {
+    if (key.size() != 9 ||
+        GetBe64(key.data() + 1) != result.derivations.size()) {
+      return Corrupt("non-sequential derivation record");
+    }
+    ByteReader r(value);
+    Derivation d;
+    uint32_t e1 = 0, e2 = 0;
+    uint64_t key_plus_1 = 0, n = 0;
+    if (!r.ReadVarint32(&e1) || !r.ReadVarint32(&e2) ||
+        !r.ReadVarint(&key_plus_1) || e1 >= meta.num_nodes ||
+        e2 >= meta.num_nodes || key_plus_1 > INT32_MAX) {
+      return Corrupt("bad derivation header");
+    }
+    d.e1 = e1;
+    d.e2 = e2;
+    d.key = static_cast<int>(key_plus_1) - 1;
+    if (!r.ReadVarint(&n) || n > value.size())
+      return Corrupt("bad premise count");
+    d.premises.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t x = 0, y = 0;
+      if (!r.ReadVarint32(&x) || !r.ReadVarint32(&y) ||
+          x >= meta.num_nodes || y >= meta.num_nodes) {
+        return Corrupt("bad premise");
+      }
+      d.premises.emplace_back(x, y);
+    }
+    if (!r.ReadVarint(&n) || n > value.size())
+      return Corrupt("bad witness-triple count");
+    d.triples.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t s = 0, p = 0, o = 0;
+      if (!r.ReadVarint32(&s) || !r.ReadVarint32(&p) || !r.ReadVarint32(&o) ||
+          s >= meta.num_nodes || p >= meta.num_symbols ||
+          o >= meta.num_nodes) {
+        return Corrupt("bad witness triple");
+      }
+      d.triples.push_back(WitnessTriple{s, Symbol{p}, o});
+    }
+    if (!r.AtEnd()) return Corrupt("trailing bytes in derivation record");
+    result.derivations.push_back(std::move(d));
+    return Status::OK();
+  });
+  GKEYS_RETURN_IF_ERROR(scan);
+  if (result.derivations.size() != meta.num_derivations)
+    return Corrupt("derivation count mismatch");
+  // Stats are not persisted; confirmed mirrors the stored pair set.
+  result.stats.confirmed = result.pairs.size();
+  return result;
+}
+
+}  // namespace storage
+}  // namespace gkeys

@@ -1,0 +1,50 @@
+#ifndef GKEYS_STORAGE_STORE_H_
+#define GKEYS_STORAGE_STORE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gkeys {
+namespace storage {
+
+/// A pluggable ordered key-value store — the persistence seam the
+/// snapshot codecs write through. Snapshot::Save/Load only ever talk to
+/// this interface, so backends are interchangeable: the single-file
+/// mmap'd MmapStore ships first, and the planned out-of-core paged
+/// backend and a remote matcher-service store slot in behind the same
+/// four calls without touching the codecs.
+///
+/// Contract:
+///   - Keys are arbitrary byte strings ordered lexicographically
+///     (unsigned bytes). The snapshot key layout uses big-endian
+///     fixed-width suffixes precisely so byte order == numeric order.
+///   - Put stages `value` under `key`, replacing any earlier Put of the
+///     same key. Writes become durable and readable only after Flush.
+///   - Get returns a view valid until the next Flush or the store's
+///     destruction; NotFound when the key is absent.
+///   - Scan visits every key with prefix `prefix` in ascending key
+///     order; a non-OK status from the callback aborts the scan and is
+///     returned as-is.
+///
+/// Implementations are single-threaded: one writer, or concurrent
+/// readers after the last Flush.
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  using ScanFn =
+      std::function<Status(std::string_view key, std::string_view value)>;
+
+  virtual Status Put(std::string key, std::string value) = 0;
+  virtual Status Flush() = 0;
+  virtual StatusOr<std::string_view> Get(std::string_view key) const = 0;
+  virtual Status Scan(std::string_view prefix, const ScanFn& fn) const = 0;
+};
+
+}  // namespace storage
+}  // namespace gkeys
+
+#endif  // GKEYS_STORAGE_STORE_H_

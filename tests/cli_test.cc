@@ -1,0 +1,175 @@
+// End-to-end regression tests for the `gkeys` CLI, driving the real
+// binary (path injected by CMake as GKEYS_CLI_BINARY) through popen.
+// Covers the save/load persistence commands — a snapshot written by one
+// process must resume correctly in another — and the empty-delta no-op
+// short-circuit on both the match and load paths.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef GKEYS_CLI_BINARY
+#error "cli_test requires GKEYS_CLI_BINARY (set by CMakeLists.txt)"
+#endif
+
+namespace {
+
+struct RunOutput {
+  int exit_code;
+  std::string text;  // stdout + stderr, interleaved
+};
+
+RunOutput RunCli(const std::string& args) {
+  std::string cmd = std::string(GKEYS_CLI_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  RunOutput out{-1, {}};
+  if (!pipe) return out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    out.text.append(buf, n);
+  }
+  int status = pclose(pipe);
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+std::string TempFile(const std::string& name, const std::string& content) {
+  std::string path = ::testing::TempDir() + "gkeys_cli_" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  EXPECT_TRUE(out.good()) << path;
+  return path;
+}
+
+/// Extracts the last `pairs=N` figure printed by a command.
+int LastPairs(const std::string& text) {
+  size_t pos = text.rfind("pairs=");
+  if (pos == std::string::npos) return -1;
+  return std::atoi(text.c_str() + pos + 6);
+}
+
+// The paper's Fig. 2 company fragment (G2) with Σ2 = {Q4, Q5}: matching
+// yields 2 pairs; the delta adds c6 (named "AT&T", children of c2 and
+// c3), which creates 2 more.
+constexpr char kCompanyTriples[] =
+    "ent:company:c0 name_of val:\"AT&T\"\n"
+    "ent:company:c1 name_of val:\"AT&T\"\n"
+    "ent:company:c2 name_of val:\"AT&T\"\n"
+    "ent:company:c4 name_of val:\"AT&T\"\n"
+    "ent:company:c5 name_of val:\"AT&T\"\n"
+    "ent:company:c3 name_of val:\"SBC\"\n"
+    "ent:company:c0 parent_of ent:company:c1\n"
+    "ent:company:c0 parent_of ent:company:c2\n"
+    "ent:company:c0 parent_of ent:company:c3\n"
+    "ent:company:c1 parent_of ent:company:c4\n"
+    "ent:company:c2 parent_of ent:company:c5\n"
+    "ent:company:c3 parent_of ent:company:c4\n"
+    "ent:company:c3 parent_of ent:company:c5\n";
+
+constexpr char kCompanyKeys[] =
+    "key Q4 for company {\n"
+    "  x -[name_of]-> n*\n"
+    "  _p:company -[name_of]-> n*\n"
+    "  _p -[parent_of]-> x\n"
+    "  y:company -[parent_of]-> x\n"
+    "}\n"
+    "key Q5 for company {\n"
+    "  x -[name_of]-> n*\n"
+    "  _p:company -[name_of]-> n*\n"
+    "  _p -[parent_of]-> x\n"
+    "  _p -[parent_of]-> y:company\n"
+    "}\n";
+
+constexpr char kCompanyDelta[] =
+    "+ ent:company:c6 name_of val:\"AT&T\"\n"
+    "+ ent:company:c2 parent_of ent:company:c6\n"
+    "+ ent:company:c3 parent_of ent:company:c6\n";
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = TempFile("g.triples", kCompanyTriples);
+    keys_ = TempFile("keys.dsl", kCompanyKeys);
+    delta_ = TempFile("delta.triples", kCompanyDelta);
+    empty_ = TempFile("empty.triples", "# nothing here\n\n");
+  }
+
+  std::string graph_, keys_, delta_, empty_;
+};
+
+TEST_F(CliTest, MatchFindsPaperPairs) {
+  RunOutput out = RunCli("match " + graph_ + " " + keys_);
+  EXPECT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_EQ(LastPairs(out.text), 2) << out.text;
+}
+
+TEST_F(CliTest, MatchWithDeltaRematches) {
+  RunOutput out = RunCli("match " + graph_ + " " + keys_ + " --delta=" + delta_);
+  EXPECT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_EQ(LastPairs(out.text), 4) << out.text;
+}
+
+TEST_F(CliTest, MatchWithEmptyDeltaIsNoOp) {
+  RunOutput out = RunCli("match " + graph_ + " " + keys_ + " --delta=" + empty_);
+  EXPECT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("is empty: no-op"), std::string::npos) << out.text;
+  EXPECT_EQ(LastPairs(out.text), 2) << out.text;
+}
+
+TEST_F(CliTest, SaveLoadRoundTripInSeparateProcesses) {
+  std::string snap = ::testing::TempDir() + "gkeys_cli_snap.gks";
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " " + snap);
+  EXPECT_EQ(save.exit_code, 0) << save.text;
+  EXPECT_EQ(LastPairs(save.text), 2) << save.text;
+
+  RunOutput load = RunCli("load " + snap);
+  EXPECT_EQ(load.exit_code, 0) << load.text;
+  EXPECT_EQ(LastPairs(load.text), 2) << load.text;
+}
+
+TEST_F(CliTest, LoadResumeMatchesInProcessRematch) {
+  std::string snap = ::testing::TempDir() + "gkeys_cli_snap_delta.gks";
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " " + snap);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+
+  RunOutput load = RunCli("load " + snap + " --delta=" + delta_);
+  EXPECT_EQ(load.exit_code, 0) << load.text;
+  // Same pair count as `match --delta` computes fully in-process.
+  EXPECT_EQ(LastPairs(load.text), 4) << load.text;
+  EXPECT_NE(load.text.find("resumed with +3 -0 pending"), std::string::npos)
+      << load.text;
+}
+
+TEST_F(CliTest, LoadWithEmptyDeltaIsNoOp) {
+  std::string snap = ::testing::TempDir() + "gkeys_cli_snap_empty.gks";
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " " + snap);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+
+  RunOutput load = RunCli("load " + snap + " --delta=" + empty_);
+  EXPECT_EQ(load.exit_code, 0) << load.text;
+  EXPECT_NE(load.text.find("is empty: no-op"), std::string::npos)
+      << load.text;
+  EXPECT_EQ(LastPairs(load.text), 2) << load.text;
+}
+
+TEST_F(CliTest, LoadCorruptSnapshotFailsCleanly) {
+  std::string snap = TempFile("bogus.gks", "not a snapshot at all");
+  RunOutput load = RunCli("load " + snap);
+  EXPECT_NE(load.exit_code, 0);
+  // Status::ToString prints "ParseError: ..." / "IoError: ..." — a
+  // clean diagnostic, not a crash.
+  EXPECT_NE(load.text.find("Error"), std::string::npos) << load.text;
+}
+
+TEST_F(CliTest, UnknownCommandPrintsUsage) {
+  RunOutput out = RunCli("frobnicate");
+  EXPECT_NE(out.exit_code, 0);
+  EXPECT_NE(out.text.find("usage"), std::string::npos) << out.text;
+}
+
+}  // namespace

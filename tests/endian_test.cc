@@ -1,0 +1,159 @@
+#include "common/endian.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gkeys {
+namespace {
+
+TEST(EndianTest, Be32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0x7Fu, 0x80u, 0x1234u, 0xDEADBEEFu,
+                     std::numeric_limits<uint32_t>::max()}) {
+    std::string s;
+    PutBe32(s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(GetBe32(s.data()), v);
+  }
+}
+
+TEST(EndianTest, Be64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xFF},
+                     uint64_t{0x123456789ABCDEF0},
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string s;
+    PutBe64(s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(GetBe64(s.data()), v);
+  }
+}
+
+TEST(EndianTest, Be32IsBigEndian) {
+  std::string s;
+  PutBe32(s, 0x01020304u);
+  EXPECT_EQ(s, std::string("\x01\x02\x03\x04", 4));
+}
+
+TEST(EndianTest, BigEndianKeysSortNumerically) {
+  // The property the ordered-KV key layout relies on: byte order of
+  // encoded keys equals numeric order.
+  std::vector<uint64_t> values = {0, 1, 2, 255, 256, 65535, 65536,
+                                  uint64_t{1} << 32, uint64_t{1} << 63};
+  std::string prev;
+  for (uint64_t v : values) {
+    std::string cur;
+    PutBe64(cur, v);
+    if (!prev.empty()) EXPECT_LT(prev, cur) << "at value " << v;
+    prev = cur;
+  }
+}
+
+TEST(EndianTest, VarintRoundTrip) {
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  129,  300,  16383,      16384,
+                                  1u << 20, uint64_t{1} << 35,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string s;
+    PutVarint(s, v);
+    uint64_t decoded = 0;
+    const char* end = GetVarint(s.data(), s.data() + s.size(), &decoded);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(end, s.data() + s.size()) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(EndianTest, VarintSingleByteForSmallValues) {
+  std::string s;
+  PutVarint(s, 127);
+  EXPECT_EQ(s.size(), 1u);
+  s.clear();
+  PutVarint(s, 128);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(EndianTest, VarintTruncatedFails) {
+  std::string s;
+  PutVarint(s, uint64_t{1} << 40);
+  for (size_t cut = 0; cut + 1 < s.size(); ++cut) {
+    uint64_t v = 0;
+    EXPECT_EQ(GetVarint(s.data(), s.data() + cut, &v), nullptr)
+        << "cut at " << cut;
+  }
+}
+
+TEST(EndianTest, VarintOverlongFails) {
+  std::string s(11, '\x80');  // 11 continuation bytes: > max 10-byte varint
+  uint64_t v = 0;
+  EXPECT_EQ(GetVarint(s.data(), s.data() + s.size(), &v), nullptr);
+}
+
+TEST(ByteReaderTest, SequentialReads) {
+  std::string s;
+  s.push_back('\x2A');
+  PutBe32(s, 0xCAFEBABEu);
+  PutBe64(s, 42);
+  PutVarint(s, 300);
+  PutVarint(s, 7);
+  s += "hello";
+
+  ByteReader r(s);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::string_view bytes;
+  ASSERT_TRUE(r.ReadU8(&u8));
+  EXPECT_EQ(u8, 0x2A);
+  ASSERT_TRUE(r.ReadBe32(&u32));
+  EXPECT_EQ(u32, 0xCAFEBABEu);
+  ASSERT_TRUE(r.ReadBe64(&u64));
+  EXPECT_EQ(u64, 42u);
+  ASSERT_TRUE(r.ReadVarint(&u64));
+  EXPECT_EQ(u64, 300u);
+  ASSERT_TRUE(r.ReadVarint32(&u32));
+  EXPECT_EQ(u32, 7u);
+  ASSERT_TRUE(r.ReadBytes(5, &bytes));
+  EXPECT_EQ(bytes, "hello");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReaderTest, TruncationFailsAndStaysFailed) {
+  std::string s;
+  PutBe32(s, 1);
+  ByteReader r(s);
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.ReadBe64(&u64));  // only 4 bytes present
+  EXPECT_FALSE(r.ok());
+  uint8_t u8 = 0;
+  EXPECT_FALSE(r.ReadU8(&u8));  // failed readers refuse further reads
+}
+
+TEST(ByteReaderTest, Varint32RejectsWideValues) {
+  std::string s;
+  PutVarint(s, uint64_t{1} << 40);
+  ByteReader r(s);
+  uint32_t v = 0;
+  EXPECT_FALSE(r.ReadVarint32(&v));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, ReadBytesPastEndFails) {
+  ByteReader r("abc");
+  std::string_view bytes;
+  EXPECT_FALSE(r.ReadBytes(4, &bytes));
+}
+
+TEST(ByteReaderTest, EmptyInput) {
+  ByteReader r("");
+  EXPECT_TRUE(r.AtEnd());
+  uint8_t v = 0;
+  EXPECT_FALSE(r.ReadU8(&v));
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -1,0 +1,694 @@
+// Persistence subsystem tests: MmapStore contract, snapshot round-trips
+// (Save → Load must reproduce the graph, plan, and result so exactly that
+// re-running or resuming from the loaded state is byte-identical to the
+// in-memory run), restart-resume chains over random delta streams, and
+// negative paths — corrupted, truncated, and version-mismatched files
+// must surface Status errors, never crash (the sanitize CI job runs
+// these under ASan/UBSan).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/matcher.h"
+#include "gen/synthetic.h"
+#include "graph/delta.h"
+#include "io/triples.h"
+#include "storage/mmap_store.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace gkeys {
+namespace {
+
+using storage::MmapStore;
+using storage::Snapshot;
+using storage::Store;
+
+const std::vector<Algorithm>& AllAlgorithms() {
+  static const std::vector<Algorithm> algos = {
+      Algorithm::kNaiveChase, Algorithm::kEmMr,  Algorithm::kEmVf2Mr,
+      Algorithm::kEmOptMr,    Algorithm::kEmVc,  Algorithm::kEmOptVc};
+  return algos;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "gkeys_storage_" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ---- MmapStore contract ----------------------------------------------
+
+TEST(MmapStore, PutFlushOpenGetRoundTrip) {
+  std::string path = TempPath("kv_roundtrip");
+  auto store = MmapStore::Create(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  // Inserted out of key order on purpose: Flush must write sorted.
+  ASSERT_TRUE((*store)->Put("zeta", "last").ok());
+  ASSERT_TRUE((*store)->Put("alpha", "first").ok());
+  ASSERT_TRUE((*store)->Put("m", std::string(100000, 'x')).ok());
+  ASSERT_TRUE((*store)->Put("alpha2", "").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  auto reopened = MmapStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_records(), 4u);
+  auto get = (*reopened)->Get("alpha");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(*get, "first");
+  get = (*reopened)->Get("m");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->size(), 100000u);
+  EXPECT_EQ((*reopened)->Get("missing").status().code(),
+            StatusCode::kNotFound);
+
+  // Scan: ascending order, prefix-filtered.
+  std::vector<std::string> keys;
+  ASSERT_TRUE((*reopened)
+                  ->Scan("",
+                         [&](std::string_view k, std::string_view) {
+                           keys.emplace_back(k);
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(keys,
+            (std::vector<std::string>{"alpha", "alpha2", "m", "zeta"}));
+  keys.clear();
+  ASSERT_TRUE((*reopened)
+                  ->Scan("alpha",
+                         [&](std::string_view k, std::string_view) {
+                           keys.emplace_back(k);
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "alpha2"}));
+}
+
+TEST(MmapStore, GetAndScanServeStagedWritesBeforeFlush) {
+  auto store = MmapStore::Create(TempPath("kv_staged"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("b", "2").ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  auto get = (*store)->Get("a");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(*get, "1");
+  std::vector<std::string> keys;
+  ASSERT_TRUE((*store)
+                  ->Scan("",
+                         [&](std::string_view k, std::string_view) {
+                           keys.emplace_back(k);
+                           return Status::OK();
+                         })
+                  .ok());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(MmapStore, PutAfterFlushIsFailedPrecondition) {
+  auto store = MmapStore::Create(TempPath("kv_sealed"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->Put("k2", "v2").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MmapStore, OpenMissingFileIsIoError) {
+  auto store = MmapStore::Open(TempPath("does_not_exist"));
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIoError);
+}
+
+TEST(MmapStore, ScanCallbackErrorAbortsScan) {
+  auto store = MmapStore::Create(TempPath("kv_abort"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", "1").ok());
+  ASSERT_TRUE((*store)->Put("b", "2").ok());
+  int seen = 0;
+  Status st = (*store)->Scan("", [&](std::string_view, std::string_view) {
+    ++seen;
+    return Status::Cancelled("stop");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_EQ(seen, 1);
+}
+
+// ---- Snapshot round-trips --------------------------------------------
+
+struct Session {
+  std::unique_ptr<Graph> graph;    // stable address for the plan
+  std::unique_ptr<KeySet> keys;
+  MatchPlan plan;
+  MatchResult result;
+};
+
+Session CompileAndRun(Graph g, KeySet keys, Algorithm algo) {
+  Session s;
+  s.graph = std::make_unique<Graph>(std::move(g));
+  s.keys = std::make_unique<KeySet>(std::move(keys));
+  auto plan =
+      Matcher::Compile(*s.graph, *s.keys, PlanOptions::For(algo, 2));
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  s.plan = *std::move(plan);
+  auto run = Matcher(algo).processors(2).Run(s.plan);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  s.result = *std::move(run);
+  return s;
+}
+
+std::string SaveToFile(const Session& s, Algorithm algo,
+                       const std::string& name) {
+  std::string path = TempPath(name);
+  auto store = MmapStore::Create(path);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  Status st = Snapshot::Save(**store, *s.graph, *s.keys, s.plan, s.result,
+                             algo);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  st = (*store)->Flush();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return path;
+}
+
+void ExpectSameDerivations(const std::vector<Derivation>& a,
+                           const std::vector<Derivation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].e1, b[i].e1);
+    EXPECT_EQ(a[i].e2, b[i].e2);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].premises, b[i].premises);
+    EXPECT_EQ(a[i].triples, b[i].triples);
+  }
+}
+
+using CanonDerivation =
+    std::tuple<NodeId, NodeId, int,
+               std::vector<std::pair<NodeId, NodeId>>,
+               std::vector<std::tuple<NodeId, Symbol, NodeId>>>;
+
+/// Derivation EMISSION order after a rematch depends on plan internals
+/// (dirty-candidate order, dependent traversal) that legitimately differ
+/// between a freshly decoded plan and an in-memory patched one — compare
+/// provenance as a canonical multiset instead.
+std::vector<CanonDerivation> Canon(const std::vector<Derivation>& ds) {
+  std::vector<CanonDerivation> out;
+  out.reserve(ds.size());
+  for (const Derivation& d : ds) {
+    std::vector<std::tuple<NodeId, Symbol, NodeId>> triples;
+    triples.reserve(d.triples.size());
+    for (const WitnessTriple& t : d.triples) {
+      triples.emplace_back(t.s, t.p, t.o);
+    }
+    std::sort(triples.begin(), triples.end());
+    std::vector<std::pair<NodeId, NodeId>> premises = d.premises;
+    std::sort(premises.begin(), premises.end());
+    out.emplace_back(d.e1, d.e2, d.key, std::move(premises),
+                     std::move(triples));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectEquivalentDerivations(const std::vector<Derivation>& a,
+                                 const std::vector<Derivation>& b) {
+  EXPECT_EQ(Canon(a), Canon(b));
+}
+
+void ExpectRoundTrip(Graph g, KeySet keys, Algorithm algo,
+                     const std::string& name) {
+  SCOPED_TRACE("algo=" + AlgorithmName(algo) + " dataset=" + name);
+  Session s = CompileAndRun(std::move(g), std::move(keys), algo);
+  std::string path =
+      SaveToFile(s, algo, name + "_" + AlgorithmName(algo));
+
+  auto store = MmapStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto snap = Snapshot::Load(**store);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  // The graph replays byte-identically (same serialization).
+  EXPECT_EQ(SerializeGraph(snap->graph()), SerializeGraph(*s.graph));
+  EXPECT_EQ(ToDsl(snap->keys()), ToDsl(*s.keys));
+  EXPECT_EQ(snap->algorithm(), algo);
+
+  // The stored result restores exactly, provenance index included.
+  EXPECT_EQ(snap->result().pairs, s.result.pairs);
+  ExpectSameDerivations(snap->result().derivations, s.result.derivations);
+
+  // The restored plan is structurally equivalent...
+  EXPECT_EQ(snap->plan().num_candidates(), s.plan.num_candidates());
+  EXPECT_EQ(snap->plan().has_product_graph(), s.plan.has_product_graph());
+  if (s.plan.has_product_graph()) {
+    EXPECT_EQ(snap->plan().product_graph().NumNodes(),
+              s.plan.product_graph().NumNodes());
+    EXPECT_EQ(snap->plan().product_graph().NumEdges(),
+              s.plan.product_graph().NumEdges());
+  }
+  // ...and runnable: re-running it reproduces the pairs exactly.
+  auto rerun = Matcher(algo).processors(2).Run(snap->plan());
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->pairs, s.result.pairs);
+}
+
+TEST(SnapshotRoundTrip, MusicGraphAllAlgorithms) {
+  for (Algorithm algo : AllAlgorithms()) {
+    ExpectRoundTrip(testing::MakeG1().g, testing::MakeSigma1(), algo,
+                    "music");
+  }
+}
+
+TEST(SnapshotRoundTrip, CompanyGraphAllAlgorithms) {
+  for (Algorithm algo : AllAlgorithms()) {
+    ExpectRoundTrip(testing::MakeG2().g, testing::MakeSigma2(), algo,
+                    "company");
+  }
+}
+
+TEST(SnapshotRoundTrip, SyntheticAllAlgorithms) {
+  SyntheticConfig cfg;
+  cfg.seed = 11;
+  cfg.num_groups = 2;
+  cfg.chain_length = 2;
+  cfg.radius = 2;
+  cfg.entities_per_type = 14;
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  for (Algorithm algo : AllAlgorithms()) {
+    ExpectRoundTrip(ds.graph, ds.keys, algo, "synthetic");
+  }
+}
+
+TEST(SnapshotRoundTrip, EntityNameTableRidesAlong) {
+  auto loaded = DeserializeGraphWithNames(
+      "ent:t:a p val:\"1\"\nent:t:b p val:\"1\"\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  KeySet keys;
+  ASSERT_TRUE(keys.AddFromDsl("key k for t { x -[p]-> v* }").ok());
+  Algorithm algo = Algorithm::kEmOptVc;
+  Session s =
+      CompileAndRun(std::move(loaded->graph), std::move(keys), algo);
+
+  std::string path = TempPath("names");
+  auto store = MmapStore::Create(path);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(Snapshot::Save(**store, *s.graph, *s.keys, s.plan, s.result,
+                             algo, &loaded->entities)
+                  .ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  auto reopened = MmapStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  auto snap = Snapshot::Load(**reopened);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->entity_names(), loaded->entities);
+
+  // The table lets delta files parse against the restored session.
+  auto delta = ParseDelta("+ ent:t:a q val:\"2\"\n", snap->graph(),
+                          snap->entity_names());
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->num_added_triples(), 1u);
+}
+
+TEST(SnapshotRoundTrip, ResumeWithEmptyDeltaReturnsStoredResult) {
+  Algorithm algo = Algorithm::kEmOptVc;
+  Session s = CompileAndRun(testing::MakeG2().g, testing::MakeSigma2(),
+                            algo);
+  std::string path = SaveToFile(s, algo, "empty_resume");
+  auto store = MmapStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  auto snap = Snapshot::Load(**store);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  GraphDelta empty(snap->graph());
+  auto resumed = Matcher(algo).Resume(*snap, empty);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->pairs, s.result.pairs);
+}
+
+TEST(Snapshot, SaveRejectsForeignPlan) {
+  Algorithm algo = Algorithm::kEmOptVc;
+  Session s = CompileAndRun(testing::MakeG2().g, testing::MakeSigma2(),
+                            algo);
+  Graph other = testing::MakeG1().g;
+  auto store = MmapStore::Create(TempPath("foreign"));
+  ASSERT_TRUE(store.ok());
+  Status st = Snapshot::Save(**store, other, *s.keys, s.plan, s.result,
+                             algo);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Restart-resume over random delta streams ------------------------
+
+struct DeltaOp {
+  bool add;
+  Triple t;
+};
+
+/// Stages `ops` against `g` (both graphs of a resume-equivalence pair
+/// share NodeIds, so one op list drives both).
+StatusOr<GraphDelta> StageOps(const Graph& g, const Graph& interner_src,
+                              const std::vector<DeltaOp>& ops) {
+  GraphDelta delta(g);
+  for (const DeltaOp& op : ops) {
+    const std::string& pred = interner_src.interner().Resolve(op.t.pred);
+    Status st = op.add ? delta.AddTriple(op.t.subject, pred, op.t.object)
+                       : delta.RemoveTriple(op.t.subject, pred, op.t.object);
+    GKEYS_RETURN_IF_ERROR(st);
+  }
+  return delta;
+}
+
+/// The paper lifecycle vs. the restart lifecycle, chunk by chunk: the
+/// in-memory chain applies each delta directly (Apply → Patch →
+/// Rematch); the restart chain saves, reloads from disk in-between, and
+/// Resumes with the same ops as "pending deltas". Every chunk must
+/// agree exactly — that is the whole point of the snapshot.
+void RunResumeStream(uint64_t seed, Algorithm algo, size_t hold_out,
+                     size_t chunks, size_t removals_per_chunk) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " algo=" + AlgorithmName(algo));
+  SyntheticConfig cfg;
+  cfg.seed = seed;
+  cfg.num_groups = 2;
+  cfg.chain_length = 2;
+  cfg.radius = 2;
+  cfg.entities_per_type = 14;
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  std::vector<Triple> all_triples;
+  ds.graph.ForEachTriple(
+      [&](const Triple& t) { all_triples.push_back(t); });
+
+  Rng rng(seed * 7919 + 13);
+  std::vector<uint8_t> keep(all_triples.size(), 1);
+  std::vector<size_t> held;
+  while (held.size() < hold_out) {
+    size_t pick = rng.Below(all_triples.size());
+    if (keep[pick]) {
+      keep[pick] = 0;
+      held.push_back(pick);
+    }
+  }
+
+  // Base graph = full minus held (node-for-node rebuild, same ids).
+  Graph base;
+  for (NodeId n = 0; n < ds.graph.NumNodes(); ++n) {
+    NodeId id =
+        ds.graph.IsEntity(n)
+            ? base.AddEntity(
+                  ds.graph.interner().Resolve(ds.graph.entity_type(n)))
+            : base.AddValue(ds.graph.value_str(n));
+    ASSERT_EQ(id, n);
+  }
+  for (size_t i = 0; i < all_triples.size(); ++i) {
+    if (!keep[i]) continue;
+    const Triple& t = all_triples[i];
+    ASSERT_TRUE(base.AddTriple(t.subject,
+                               ds.graph.interner().Resolve(t.pred),
+                               t.object)
+                    .ok());
+  }
+  base.Finalize();
+
+  Session mem = CompileAndRun(std::move(base), ds.keys, algo);
+  Matcher matcher(algo);
+  matcher.processors(2);
+  std::string path = SaveToFile(mem, algo, "stream");
+
+  std::vector<Triple> present;
+  for (size_t i = 0; i < all_triples.size(); ++i) {
+    if (keep[i]) present.push_back(all_triples[i]);
+  }
+
+  size_t next_held = 0;
+  for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    std::vector<DeltaOp> ops;
+    size_t additions = held.size() / chunks + 1;
+    for (size_t i = 0; i < additions && next_held < held.size();
+         ++i, ++next_held) {
+      ops.push_back({true, all_triples[held[next_held]]});
+      present.push_back(all_triples[held[next_held]]);
+    }
+    for (size_t i = 0; i < removals_per_chunk && !present.empty(); ++i) {
+      size_t pick = rng.Below(present.size());
+      ops.push_back({false, present[pick]});
+      present.erase(present.begin() + pick);
+    }
+    if (ops.empty()) continue;
+
+    // In-memory lifecycle.
+    auto mem_delta = StageOps(*mem.graph, ds.graph, ops);
+    ASSERT_TRUE(mem_delta.ok()) << mem_delta.status().ToString();
+    ASSERT_TRUE(mem.graph->Apply(*mem_delta).ok());
+    auto patched = mem.plan.Patch(*mem_delta);
+    ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+    auto rematched = matcher.Rematch(*patched, mem.result, *mem_delta);
+    ASSERT_TRUE(rematched.ok()) << rematched.status().ToString();
+    mem.plan = *std::move(patched);
+    mem.result = *std::move(rematched);
+
+    // Restart lifecycle: reload from disk, resume with the same ops as
+    // the pending delta, save the advanced state for the next chunk.
+    auto store = MmapStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto snap = Snapshot::Load(**store);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    auto snap_delta = StageOps(snap->graph(), ds.graph, ops);
+    ASSERT_TRUE(snap_delta.ok()) << snap_delta.status().ToString();
+    auto resumed = matcher.Resume(*snap, *snap_delta);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+    EXPECT_EQ(resumed->pairs, mem.result.pairs);
+    ExpectEquivalentDerivations(resumed->derivations,
+                                mem.result.derivations);
+
+    path = TempPath("stream_chunk" + std::to_string(chunk));
+    auto next = MmapStore::Create(path);
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(Snapshot::Save(**next, snap->graph(), snap->keys(),
+                               snap->plan(), snap->result(), algo)
+                    .ok());
+    ASSERT_TRUE((*next)->Flush().ok());
+  }
+}
+
+TEST(SnapshotResume, AdditiveStreamsAllAlgorithms) {
+  for (Algorithm algo : AllAlgorithms()) {
+    RunResumeStream(/*seed=*/21, algo, /*hold_out=*/12, /*chunks=*/2,
+                    /*removals_per_chunk=*/0);
+  }
+}
+
+TEST(SnapshotResume, MixedStreamsAllAlgorithms) {
+  for (Algorithm algo : AllAlgorithms()) {
+    RunResumeStream(/*seed=*/22, algo, /*hold_out=*/8, /*chunks=*/2,
+                    /*removals_per_chunk=*/4);
+  }
+}
+
+// ---- COW dedup across a plan lineage ---------------------------------
+
+TEST(Snapshot, PatchedPlanSharesSectionsInOneFile) {
+  // A patched plan shares most NodeSets with its source; the snapshot's
+  // content-deduplicated pools must not balloon relative to the
+  // from-scratch snapshot of the same post-delta state.
+  Algorithm algo = Algorithm::kEmOptVc;
+  SyntheticConfig cfg;
+  cfg.seed = 5;
+  cfg.num_groups = 2;
+  cfg.chain_length = 2;
+  cfg.radius = 2;
+  cfg.entities_per_type = 14;
+  SyntheticDataset ds = GenerateSynthetic(cfg);
+  Session s = CompileAndRun(ds.graph, ds.keys, algo);
+
+  // One small additive delta → patched plan (COW lineage of depth 1).
+  Triple t{};
+  bool found = false;
+  s.graph->ForEachTriple([&](const Triple& tr) {
+    if (!found) {
+      t = tr;
+      found = true;
+    }
+  });
+  ASSERT_TRUE(found);
+  GraphDelta delta(*s.graph);
+  ASSERT_TRUE(delta.RemoveTriple(t.subject,
+                                 s.graph->interner().Resolve(t.pred),
+                                 t.object)
+                  .ok());
+  ASSERT_TRUE(s.graph->Apply(delta).ok());
+  auto patched = s.plan.Patch(delta);
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  auto rematched =
+      Matcher(algo).processors(2).Rematch(*patched, s.result, delta);
+  ASSERT_TRUE(rematched.ok()) << rematched.status().ToString();
+
+  auto store = MmapStore::Create(TempPath("lineage"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(Snapshot::Save(**store, *s.graph, *s.keys, *patched,
+                             *rematched, algo)
+                  .ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  uint64_t patched_bytes = (*store)->file_bytes();
+
+  auto scratch_plan =
+      Matcher::Compile(*s.graph, *s.keys, PlanOptions::For(algo, 2));
+  ASSERT_TRUE(scratch_plan.ok());
+  auto scratch_run = Matcher(algo).processors(2).Run(*scratch_plan);
+  ASSERT_TRUE(scratch_run.ok());
+  auto store2 = MmapStore::Create(TempPath("scratch"));
+  ASSERT_TRUE(store2.ok());
+  ASSERT_TRUE(Snapshot::Save(**store2, *s.graph, *s.keys, *scratch_plan,
+                             *scratch_run, algo)
+                  .ok());
+  ASSERT_TRUE((*store2)->Flush().ok());
+  uint64_t scratch_bytes = (*store2)->file_bytes();
+
+  // Same post-delta semantics; dedup keeps the patched snapshot within
+  // 25% of the from-scratch one (they differ in carried provenance and
+  // relation sharing, not in wholesale duplication).
+  EXPECT_EQ(rematched->pairs, scratch_run->pairs);
+  EXPECT_LT(patched_bytes, scratch_bytes + scratch_bytes / 4);
+
+  // And the patched snapshot loads back to the same answer.
+  auto reopened = MmapStore::Open(TempPath("lineage"));
+  ASSERT_TRUE(reopened.ok());
+  auto snap = Snapshot::Load(**reopened);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  auto rerun = Matcher(algo).processors(2).Run(snap->plan());
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun->pairs, scratch_run->pairs);
+}
+
+// ---- Negative paths: corruption must error, never crash --------------
+
+class SnapshotCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Algorithm algo = Algorithm::kEmOptVc;
+    session_ = CompileAndRun(testing::MakeG2().g, testing::MakeSigma2(),
+                             algo);
+    path_ = SaveToFile(session_, algo, "corruption_base");
+    bytes_ = Slurp(path_);
+    ASSERT_GT(bytes_.size(), 36u);
+  }
+
+  /// Opens + loads `bytes` written to a scratch file. Returns the first
+  /// non-OK status, or OK if the whole pipeline succeeded.
+  Status TryLoad(const std::string& bytes, const std::string& name) {
+    std::string path = TempPath(name);
+    Spit(path, bytes);
+    auto store = MmapStore::Open(path);
+    if (!store.ok()) return store.status();
+    auto snap = Snapshot::Load(**store);
+    if (!snap.ok()) return snap.status();
+    return Status::OK();
+  }
+
+  Session session_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruption, TruncationsAreParseErrors) {
+  for (size_t size :
+       {size_t{0}, size_t{1}, size_t{8}, size_t{35}, size_t{36},
+        bytes_.size() / 2, bytes_.size() - 1}) {
+    SCOPED_TRACE("size=" + std::to_string(size));
+    Status st = TryLoad(bytes_.substr(0, size), "trunc");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  }
+}
+
+TEST_F(SnapshotCorruption, BadMagicIsParseError) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  Status st = TryLoad(bad, "magic");
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+}
+
+TEST_F(SnapshotCorruption, VersionMismatchIsParseErrorNamingVersions) {
+  std::string bad = bytes_;
+  bad[8] = 0;
+  bad[9] = 0;
+  bad[10] = 0;
+  bad[11] = 2;  // be32 version = 2
+  Status st = TryLoad(bad, "version");
+  ASSERT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  EXPECT_NE(st.message().find("version"), std::string::npos)
+      << st.message();
+}
+
+TEST_F(SnapshotCorruption, SingleByteFlipsNeverCrashAndNeverLie) {
+  // Flip one byte at a stride of offsets covering header, data region,
+  // and offset index. Every flip must either fail loading with a Status
+  // (the checksum covers the data region; geometry and ordering checks
+  // cover the rest) or — never — load "successfully" into a different
+  // answer.
+  for (size_t off = 0; off < bytes_.size();
+       off += 1 + bytes_.size() / 101) {
+    SCOPED_TRACE("offset=" + std::to_string(off));
+    std::string bad = bytes_;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    std::string path = TempPath("flip");
+    Spit(path, bad);
+    auto store = MmapStore::Open(path);
+    if (!store.ok()) continue;  // rejected at the file layer: fine
+    auto snap = Snapshot::Load(**store);
+    if (!snap.ok()) continue;  // rejected at the record layer: fine
+    EXPECT_EQ(snap->result().pairs, session_.result.pairs)
+        << "corrupted snapshot loaded into a different result";
+  }
+}
+
+TEST_F(SnapshotCorruption, MissingRecordsAreParseErrors) {
+  // Rebuild the store without the meta record / without the key record:
+  // Load must fail cleanly, not crash.
+  for (std::string drop : {"M", "K", "P", "A"}) {
+    SCOPED_TRACE("drop=" + drop);
+    auto src = MmapStore::Open(path_);
+    ASSERT_TRUE(src.ok());
+    std::string path = TempPath("drop");
+    auto dst = MmapStore::Create(path);
+    ASSERT_TRUE(dst.ok());
+    ASSERT_TRUE((*src)
+                    ->Scan("",
+                           [&](std::string_view k, std::string_view v) {
+                             if (std::string(k) == drop)
+                               return Status::OK();
+                             return (*dst)->Put(std::string(k),
+                                                std::string(v));
+                           })
+                    .ok());
+    ASSERT_TRUE((*dst)->Flush().ok());
+    auto reopened = MmapStore::Open(path);
+    ASSERT_TRUE(reopened.ok());
+    auto snap = Snapshot::Load(**reopened);
+    EXPECT_FALSE(snap.ok());
+    EXPECT_EQ(snap.status().code(), StatusCode::kParseError)
+        << snap.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -9,8 +9,12 @@
 //   gkeys discover <graph.triples> [--max-attrs=N] [--min-coverage=F]
 //   gkeys generate <out.triples> [--scale=F] [--c=N] [--d=N] [--seed=N]
 //   gkeys stats <graph.triples>
+//   gkeys save <graph.triples> <keys.dsl> <out.snapshot> [--algorithm=NAME]
+//              [--processors=N]
+//   gkeys load <snapshot> [--delta=DELTA.triples] [--processors=N]
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +26,8 @@
 #include "gen/synthetic.h"
 #include "graph/merge.h"
 #include "io/triples.h"
+#include "storage/mmap_store.h"
+#include "storage/snapshot.h"
 
 namespace {
 
@@ -29,7 +35,8 @@ using namespace gkeys;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gkeys <match|check|discover|generate|stats> ...\n"
+               "usage: gkeys <match|check|discover|generate|stats|save|load>"
+               " ...\n"
                "  match <graph> <keys.dsl> [--algorithm=EMMR|EMVF2MR|"
                "EMOptMR|EMVC|EMOptVC|NaiveChase] [--processors=N]\n"
                "        [--stream] [--provenance] [--fuse=out.triples]\n"
@@ -38,7 +45,11 @@ int Usage() {
                "  check <graph> <keys.dsl>\n"
                "  discover <graph> [--max-attrs=N] [--min-coverage=F]\n"
                "  generate <out> [--scale=F] [--c=N] [--d=N] [--seed=N]\n"
-               "  stats <graph>\n");
+               "  stats <graph>\n"
+               "  save <graph> <keys.dsl> <out.snapshot> [--algorithm=NAME] "
+               "[--processors=N]  (compile + run + persist)\n"
+               "  load <snapshot> [--delta=delta.triples] [--processors=N]  "
+               "(restore; apply pending deltas incrementally)\n");
   return 2;
 }
 
@@ -198,41 +209,50 @@ int CmdMatch(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
       return 1;
     }
-    auto dirty = graph->Apply(*delta);
-    if (!dirty.ok()) {
-      std::fprintf(stderr, "%s\n", dirty.status().ToString().c_str());
-      return 1;
-    }
-    auto patched = plan->Patch(*delta);
-    if (!patched.ok()) {
-      std::fprintf(stderr, "%s\n", patched.status().ToString().c_str());
-      return 1;
-    }
-    auto rematch = matcher.Rematch(*patched, r, *delta);
-    if (!rematch.ok()) {
-      std::fprintf(stderr, "%s\n", rematch.status().ToString().c_str());
-      return 1;
-    }
-    MatchResult r2 = *std::move(rematch);
-    std::printf("# delta +%zu -%zu triples: pairs=%zu (%+ld) "
-                "dirty_candidates=%zu patch=%.1fms rematch=%.1fms\n",
-                delta->num_added_triples(), delta->num_removed_triples(),
-                r2.pairs.size(),
-                static_cast<long>(r2.pairs.size()) -
-                    static_cast<long>(r.pairs.size()),
-                patched->dirty_candidates().size(),
-                patched->compile_seconds() * 1e3,
-                r2.stats.run_seconds * 1e3);
-    for (auto [a, b] : r2.pairs) {
-      bool is_new =
-          !std::binary_search(r.pairs.begin(), r.pairs.end(),
-                              std::make_pair(a, b));
-      if (is_new) {
-        std::printf("+ %s == %s\n", graph->DescribeNode(a).c_str(),
-                    graph->DescribeNode(b).c_str());
+    if (delta->empty()) {
+      // Short-circuit: nothing to apply, so skip the apply + patch +
+      // rematch entirely — the result above already covers the graph
+      // as-is.
+      std::printf("# delta file '%s' is empty: no-op (graph, plan, and "
+                  "result unchanged)\n",
+                  delta_path.c_str());
+    } else {
+      auto dirty = graph->Apply(*delta);
+      if (!dirty.ok()) {
+        std::fprintf(stderr, "%s\n", dirty.status().ToString().c_str());
+        return 1;
       }
+      auto patched = plan->Patch(*delta);
+      if (!patched.ok()) {
+        std::fprintf(stderr, "%s\n", patched.status().ToString().c_str());
+        return 1;
+      }
+      auto rematch = matcher.Rematch(*patched, r, *delta);
+      if (!rematch.ok()) {
+        std::fprintf(stderr, "%s\n", rematch.status().ToString().c_str());
+        return 1;
+      }
+      MatchResult r2 = *std::move(rematch);
+      std::printf("# delta +%zu -%zu triples: pairs=%zu (%+ld) "
+                  "dirty_candidates=%zu patch=%.1fms rematch=%.1fms\n",
+                  delta->num_added_triples(), delta->num_removed_triples(),
+                  r2.pairs.size(),
+                  static_cast<long>(r2.pairs.size()) -
+                      static_cast<long>(r.pairs.size()),
+                  patched->dirty_candidates().size(),
+                  patched->compile_seconds() * 1e3,
+                  r2.stats.run_seconds * 1e3);
+      for (auto [a, b] : r2.pairs) {
+        bool is_new =
+            !std::binary_search(r.pairs.begin(), r.pairs.end(),
+                                std::make_pair(a, b));
+        if (is_new) {
+          std::printf("+ %s == %s\n", graph->DescribeNode(a).c_str(),
+                      graph->DescribeNode(b).c_str());
+        }
+      }
+      r = std::move(r2);  // --fuse below fuses the post-delta result
     }
-    r = std::move(r2);  // --fuse below fuses the post-delta result
   }
 
   std::string fuse_out = FlagValue(argc, argv, "--fuse", "");
@@ -307,6 +327,129 @@ int CmdGenerate(int argc, char** argv) {
   return 0;
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int CmdSave(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto loaded = LoadGraphWithNames(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto keys = LoadKeys(argv[3]);
+  if (!keys.ok()) {
+    std::fprintf(stderr, "%s\n", keys.status().ToString().c_str());
+    return 1;
+  }
+  auto algo_or =
+      ParseAlgorithm(FlagValue(argc, argv, "--algorithm", "EMOptVC"));
+  if (!algo_or.ok()) {
+    std::fprintf(stderr, "%s\n", algo_or.status().ToString().c_str());
+    return 2;
+  }
+  Algorithm algo = *algo_or;
+  int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
+  if (p <= 0) p = 4;
+
+  auto plan =
+      Matcher::Compile(loaded->graph, *keys, PlanOptions::For(algo, p));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  Matcher matcher(algo);
+  matcher.processors(p);
+  auto run = matcher.Run(*plan);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto store = storage::MmapStore::Create(argv[4]);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  Status st = storage::Snapshot::Save(**store, loaded->graph, *keys, *plan,
+                                      *run, algo, &loaded->entities);
+  if (st.ok()) st = (*store)->Flush();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("# saved %s: algorithm=%s pairs=%zu records=%zu bytes=%llu "
+              "compile=%.1fms run=%.1fms save=%.1fms\n",
+              argv[4], AlgorithmName(algo).c_str(), run->pairs.size(),
+              (*store)->num_records(),
+              static_cast<unsigned long long>((*store)->file_bytes()),
+              plan->compile_seconds() * 1e3, run->stats.run_seconds * 1e3,
+              SecondsSince(t0) * 1e3);
+  return 0;
+}
+
+int CmdLoad(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto t0 = std::chrono::steady_clock::now();
+  auto store = storage::MmapStore::Open(argv[2]);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  auto snap = storage::Snapshot::Load(**store);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# loaded %s: algorithm=%s pairs=%zu nodes=%zu "
+              "candidates=%zu load=%.1fms\n",
+              argv[2], AlgorithmName(snap->algorithm()).c_str(),
+              snap->result().pairs.size(), snap->graph().NumNodes(),
+              snap->plan().num_candidates(), SecondsSince(t0) * 1e3);
+
+  int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
+  if (p <= 0) p = 4;
+  std::string delta_path = FlagValue(argc, argv, "--delta", "");
+  if (!delta_path.empty()) {
+    auto text = ReadFile(delta_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto delta = ParseDelta(*text, snap->graph(), snap->entity_names());
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    if (delta->empty()) {
+      std::printf("# delta file '%s' is empty: no-op (resumed result is "
+                  "the stored one)\n",
+                  delta_path.c_str());
+    } else {
+      Matcher matcher(snap->algorithm());
+      matcher.processors(p);
+      auto t1 = std::chrono::steady_clock::now();
+      auto resumed = matcher.Resume(*snap, *delta);
+      if (!resumed.ok()) {
+        std::fprintf(stderr, "%s\n", resumed.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("# resumed with +%zu -%zu pending triples: pairs=%zu "
+                  "resume=%.1fms\n",
+                  delta->num_added_triples(), delta->num_removed_triples(),
+                  resumed->pairs.size(), SecondsSince(t1) * 1e3);
+    }
+  }
+  for (auto [a, b] : snap->result().pairs) {
+    std::printf("%s == %s\n", snap->graph().DescribeNode(a).c_str(),
+                snap->graph().DescribeNode(b).c_str());
+  }
+  return 0;
+}
+
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[2]);
@@ -336,5 +479,7 @@ int main(int argc, char** argv) {
   if (cmd == "discover") return CmdDiscover(argc, argv);
   if (cmd == "generate") return CmdGenerate(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "save") return CmdSave(argc, argv);
+  if (cmd == "load") return CmdLoad(argc, argv);
   return Usage();
 }
