@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,9 @@
 #include "common/timer.h"
 #include "graph/delta.h"
 #include "io/triples.h"
+#include "storage/durable_dir.h"
 #include "storage/mmap_store.h"
+#include "storage/recovery.h"
 #include "storage/snapshot.h"
 
 namespace gkeys {
@@ -272,6 +275,133 @@ void RegisterAll() {
   }
 }
 
+/// Crash-recovery economics: a DurableDir holding one snapshot plus a
+/// write-ahead log of pending delta batches, timed through the full
+/// recovery state machine (pick snapshot → replay log → apply each batch
+/// through Patch + Rematch). The `recover` row is the restart row's
+/// crash-safe sibling: recover_s ≈ load_s + per-batch resume cost.
+void RegisterRecover() {
+  for (Algorithm algo : {Algorithm::kEmOptVc, Algorithm::kEmOptMr}) {
+    for (Dataset ds : {Dataset::kGoogle, Dataset::kSynthetic}) {
+      for (size_t batches : {size_t{1}, size_t{8}}) {
+        std::string name = "Recover/" + AlgorithmName(algo) + "/" +
+                           DatasetName(ds) + "/batches_" +
+                           std::to_string(batches);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [algo, ds, batches, name](benchmark::State& state) {
+              SyntheticDataset data = MakeDataset(ds, 1.0);
+              std::vector<Triple> triples;
+              data.graph.ForEachTriple(
+                  [&](const Triple& t) { triples.push_back(t); });
+              // Hold out 1% of the triples as the logged batches.
+              const size_t pending = std::max<size_t>(
+                  batches, static_cast<size_t>(0.01 * triples.size()));
+              Rng rng(42);
+              std::vector<uint8_t> held(triples.size(), 0);
+              for (size_t chosen = 0; chosen < pending;) {
+                size_t pick = rng.Below(triples.size());
+                if (!held[pick]) {
+                  held[pick] = 1;
+                  ++chosen;
+                }
+              }
+              std::vector<size_t> held_idx;
+              for (size_t i = 0; i < triples.size(); ++i) {
+                if (held[i]) held_idx.push_back(i);
+              }
+
+              const std::string dir =
+                  "/tmp/gkeys_bench_recover_" + std::to_string(getpid());
+              double save_s = 0, recover_s = 0;
+              size_t pairs = 0;
+              for (auto _ : state) {
+                state.PauseTiming();
+                std::string rm = "rm -rf '" + dir + "'";
+                (void)system(rm.c_str());
+                Graph base = RebuildWithout(data.graph, triples, held);
+                auto plan = Matcher::Compile(base, data.keys,
+                                             PlanOptions::For(algo, 1));
+                if (!plan.ok()) {
+                  state.SkipWithError(plan.status().ToString().c_str());
+                  return;
+                }
+                Matcher matcher(algo);
+                matcher.processors(1);
+                auto prev = matcher.Run(*plan);
+                if (!prev.ok()) {
+                  state.SkipWithError(prev.status().ToString().c_str());
+                  return;
+                }
+                state.ResumeTiming();
+
+                Timer save_timer;
+                auto ddir = storage::DurableDir::Open(dir);
+                if (!ddir.ok()) {
+                  state.SkipWithError(ddir.status().ToString().c_str());
+                  return;
+                }
+                Status st = ddir->SaveSnapshot(base, data.keys, *plan,
+                                               *prev, algo);
+                // The held slice, appended as `batches` binary WAL
+                // records against the evolving graph (never rematched
+                // here — recovery pays that).
+                for (size_t b = 0; st.ok() && b < batches; ++b) {
+                  GraphDelta delta(base);
+                  size_t lo = b * held_idx.size() / batches;
+                  size_t hi = (b + 1) * held_idx.size() / batches;
+                  for (size_t k = lo; k < hi; ++k) {
+                    const Triple& t = triples[held_idx[k]];
+                    (void)delta.AddTriple(
+                        t.subject, data.graph.interner().Resolve(t.pred),
+                        t.object);
+                  }
+                  st = ddir->AppendDelta(delta);
+                  if (st.ok()) st = base.Apply(delta).status();
+                }
+                if (!st.ok()) {
+                  state.SkipWithError(st.ToString().c_str());
+                  return;
+                }
+                save_s = save_timer.Seconds();
+
+                Timer recover_timer;
+                auto rec = storage::Recover(dir, matcher);
+                if (!rec.ok()) {
+                  state.SkipWithError(rec.status().ToString().c_str());
+                  return;
+                }
+                recover_s = recover_timer.Seconds();
+                if (rec->report.batches_replayed != batches) {
+                  state.SkipWithError("recovery lost a batch");
+                  return;
+                }
+                pairs = rec->report.pairs;
+                benchmark::DoNotOptimize(pairs);
+              }
+              std::string rm = "rm -rf '" + dir + "'";
+              (void)system(rm.c_str());
+              state.counters["batches"] = static_cast<double>(batches);
+              state.counters["pending_triples"] =
+                  static_cast<double>(pending);
+              state.counters["save_s"] = save_s;
+              state.counters["recover_s"] = recover_s;
+              state.counters["pairs"] = static_cast<double>(pairs);
+              JsonRow(name,
+                      {{"triples", static_cast<double>(triples.size())},
+                       {"batches", static_cast<double>(batches)},
+                       {"pending_triples", static_cast<double>(pending)},
+                       {"save_s", save_s},
+                       {"recover_s", recover_s},
+                       {"pairs", static_cast<double>(pairs)}});
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace gkeys
@@ -279,6 +409,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   gkeys::bench::InitJson(&argc, argv);
   gkeys::bench::RegisterAll();
+  gkeys::bench::RegisterRecover();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

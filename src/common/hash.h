@@ -1,12 +1,26 @@
 #ifndef GKEYS_COMMON_HASH_H_
 #define GKEYS_COMMON_HASH_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 namespace gkeys {
+
+/// FNV-1a 64-bit: the storage layer's integrity checksum (snapshot data
+/// regions, write-ahead-log records). Not cryptographic — it detects
+/// torn writes and bit flips, not adversaries.
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = 0xcbf29ce484222325ull) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 /// Transparent (heterogeneous) string hash: lets string-keyed hash maps
 /// be probed with std::string_view / const char* without materializing a

@@ -21,6 +21,8 @@ enum class StatusCode {
   kParseError,
   kFailedPrecondition,
   kCancelled,
+  kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// A lightweight success/error result. `Status::OK()` is the success value;
@@ -59,6 +61,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +90,8 @@ class Status {
       case StatusCode::kParseError: return "ParseError";
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "Unknown";
   }

@@ -66,6 +66,9 @@ StatusOr<MatchResult> RunChase(const EmContext& ctx,
   std::vector<uint32_t> merged_this_round;
   bool changed = true;
   while (changed && !active.empty()) {
+    GKEYS_RETURN_IF_ERROR(CheckTimeBudget(run_timer.Seconds(),
+                                          options.time_budget_seconds,
+                                          result.stats.rounds));
     changed = false;
     ++result.stats.rounds;
     next.clear();

@@ -23,6 +23,9 @@ struct ChaseOptions {
   /// Record a Derivation per direct identification into
   /// MatchResult::derivations (see EmOptions::record_provenance).
   bool record_provenance = true;
+  /// Wall-clock budget checked at the top of every chase round; 0 =
+  /// unbounded (see EmOptions::time_budget_seconds).
+  double time_budget_seconds = 0.0;
 };
 
 /// The sequential reference implementation of chase(G, Σ) (paper §3.1):

@@ -2,6 +2,7 @@
 #define GKEYS_CORE_EM_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <iterator>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "eq/equivalence.h"
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
@@ -73,10 +75,36 @@ struct EmOptions {
   /// Rematch retracts every previous pair and re-derives from scratch
   /// (still exact, just slower).
   bool record_provenance = true;
+  /// Graceful-degradation budget: when > 0, the run checks a wall-clock
+  /// deadline at the top of every fixpoint round and returns
+  /// kDeadlineExceeded once the budget is spent. A streaming sink keeps
+  /// every pair emitted so far — the partial result is usable, exactly
+  /// like cooperative cancellation. A run that completes within budget
+  /// never fails, even if it finishes at the wire (the check precedes
+  /// rounds, not follows them). 0 = unbounded. Run-scoped: deliberately
+  /// NOT persisted in snapshots (storage/plan_codec.h packs only the
+  /// semantic options).
+  double time_budget_seconds = 0.0;
 
   /// Presets matching the paper's five evaluated algorithms.
   static EmOptions For(Algorithm a, int p);
 };
+
+/// Shared wall-clock budget check for the fixpoint loops (see
+/// EmOptions::time_budget_seconds). Each engine calls this at the TOP of
+/// a round, so a run that converges within budget never fails — the
+/// deadline only fires when more work was about to start.
+inline Status CheckTimeBudget(double elapsed_seconds, double budget_seconds,
+                              size_t rounds_done) {
+  if (budget_seconds > 0 && elapsed_seconds >= budget_seconds) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g s budget", budget_seconds);
+    return Status::DeadlineExceeded("entity matching exceeded its " +
+                                    std::string(buf) + " after round " +
+                                    std::to_string(rounds_done));
+  }
+  return Status::OK();
+}
 
 /// Counters the benchmark harness reports (paper Table 2 and the
 /// optimization-effectiveness narratives in §6).

@@ -28,7 +28,9 @@ MatchResult RunEmMapReduce(const Graph& g, const KeySet& keys,
 
 MatchResult RunEmMapReduce(const EmContext& ctx) {
   auto r = RunEmMapReduce(ctx, ctx.options(), nullptr);
-  // Without a sink there is no cancellation source; the run cannot fail.
+  // Without a sink there is no cancellation source; only a time budget
+  // (EmOptions::time_budget_seconds) can fail the run, and it surfaces
+  // here as an empty result — budgeted callers use the StatusOr overload.
   return r.ok() ? *std::move(r) : MatchResult{};
 }
 
@@ -179,6 +181,9 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
   };
 
   while (!inputs.empty() || deferred_pending) {
+    GKEYS_RETURN_IF_ERROR(CheckTimeBudget(run.Seconds(),
+                                          opts.time_budget_seconds,
+                                          result.stats.rounds));
     ++result.stats.rounds;
     size_t merges_before = eq.num_merges();
     auto outputs = job.Run(inputs, p);

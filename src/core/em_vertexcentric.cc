@@ -278,7 +278,9 @@ MatchResult RunEmVertexCentric(const Graph& g, const KeySet& keys,
 MatchResult RunEmVertexCentric(const EmContext& ctx) {
   ProductGraph pg = BuildProductGraph(ctx);
   auto r = RunEmVertexCentric(ctx, pg, ctx.options(), nullptr);
-  // Without a sink there is no cancellation source; the run cannot fail.
+  // Without a sink there is no cancellation source; only a time budget
+  // (EmOptions::time_budget_seconds) can fail the run, and it surfaces
+  // here as an empty result — budgeted callers use the StatusOr overload.
   return r.ok() ? *std::move(r) : MatchResult{};
 }
 
@@ -359,6 +361,9 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
     for (uint32_t i = 0; i < candidates.size(); ++i) to_seed[i] = i;
   }
   while (progressed && !to_seed.empty()) {
+    GKEYS_RETURN_IF_ERROR(CheckTimeBudget(run.Seconds(),
+                                          opts.time_budget_seconds,
+                                          result.stats.rounds));
     ++result.stats.rounds;  // engine runs (1 + quiescence sweeps)
     std::vector<std::pair<uint32_t, VcMessage>> seeds;
     {

@@ -20,6 +20,10 @@ Status Matcher::Validate(const MatchPlan& plan) const {
     return Status::InvalidArgument("processors must be >= 1, got " +
                                    std::to_string(options_.processors));
   }
+  if (options_.time_budget_seconds < 0) {
+    return Status::InvalidArgument(
+        "time_budget_seconds must be >= 0 (0 = unbounded)");
+  }
   if (options_.bounded_messages < 0) {
     return Status::InvalidArgument(
         "bounded_messages must be >= 0 (0 = unbounded), got " +
@@ -44,6 +48,7 @@ StatusOr<MatchResult> Matcher::RunWithSink(const MatchPlan& plan,
         // so plan-based and standalone chase can never diverge.
         ChaseOptions copts;
         copts.record_provenance = options_.record_provenance;
+        copts.time_budget_seconds = options_.time_budget_seconds;
         return RunChase(plan.context(), copts, options_.use_vf2, sink);
       }
       case Algorithm::kEmMr:
@@ -175,6 +180,7 @@ StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
       case Algorithm::kNaiveChase: {
         ChaseOptions copts;
         copts.record_provenance = options_.record_provenance;
+        copts.time_budget_seconds = options_.time_budget_seconds;
         return RunChase(plan.context(), copts, options_.use_vf2, sink,
                         &seed);
       }

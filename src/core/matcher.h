@@ -11,7 +11,8 @@
 namespace gkeys {
 
 namespace storage {
-class Snapshot;  // src/storage/snapshot.h
+class Snapshot;            // src/storage/snapshot.h
+struct RecoveredSession;   // src/storage/recovery.h
 }  // namespace storage
 
 /// Options steering Matcher::Rematch's execution strategy. Orthogonal to
@@ -140,6 +141,16 @@ class Matcher {
     options_.prioritized = v;
     return *this;
   }
+  /// Graceful degradation for over-budget runs: a wall-clock budget in
+  /// seconds, checked at the top of every fixpoint round. An expired
+  /// budget returns StatusCode::kDeadlineExceeded through the same
+  /// cooperative machinery as sink cancellation — a streaming sink keeps
+  /// every pair emitted so far. A run that converges within the budget
+  /// never fails. 0 = unbounded (default).
+  Matcher& deadline_seconds(double s) {
+    options_.time_budget_seconds = s;
+    return *this;
+  }
   /// Record a per-derivation provenance index into every result
   /// (MatchResult::derivations; default on). Required for removal deltas
   /// to run seeded — see Rematch below.
@@ -251,6 +262,16 @@ class Matcher {
   /// storage subsystem.
   StatusOr<MatchResult> Resume(storage::Snapshot& snapshot,
                                const GraphDelta& pending) const;
+
+  /// Crash-recovery path: rebuilds a session from a durable directory
+  /// (storage::DurableDir) — newest valid snapshot plus every
+  /// acknowledged write-ahead-log batch replayed through the incremental
+  /// lifecycle. NotFound when the directory holds no snapshot;
+  /// kDataLoss only when an ACKNOWLEDGED batch is unrecoverable (torn
+  /// unacknowledged tails are silently truncated and counted in the
+  /// report). Defined in storage/recovery.cc for the same layering
+  /// reason as Resume; see storage/recovery.h for the state machine.
+  StatusOr<storage::RecoveredSession> Recover(const std::string& dir) const;
 
  private:
   Status Validate(const MatchPlan& plan) const;

@@ -167,7 +167,8 @@ StatusOr<GraphDelta> ParseDelta(std::string_view text,
 
 StatusOr<GraphDelta> ParseDelta(
     std::string_view text, const Graph& g,
-    const std::unordered_map<std::string, NodeId>& base_entities) {
+    const std::unordered_map<std::string, NodeId>& base_entities,
+    std::unordered_map<std::string, NodeId>* new_bindings) {
   GraphDelta delta(g);
   // Entity tokens resolve by identity against the loader's table, plus
   // whatever this delta stages — NEVER by re-deriving ids from the
@@ -243,6 +244,7 @@ StatusOr<GraphDelta> ParseDelta(
       }
       std::string type(token.substr(4, colon - 4));
       NodeId id = delta.AddEntity(type);
+      if (new_bindings != nullptr) (*new_bindings)[key] = id;
       entities.emplace(std::move(key), id);
       return id;
     };

@@ -66,10 +66,15 @@ StatusOr<GraphDelta> ParseDelta(std::string_view text, const LoadedGraph& lg);
 
 /// Same, against a graph and entity-reference table held separately —
 /// e.g. a restored storage::Snapshot, which owns its graph and carries
-/// the saved ent-token table (Snapshot::entity_names).
+/// the saved ent-token table (Snapshot::entity_names). When
+/// `new_bindings` is non-null, every ent: token this delta introduced is
+/// recorded there (token → staged NodeId) so the caller can extend its
+/// table and parse subsequent delta texts against the evolving session —
+/// the write-ahead-log replay path (storage/recovery.h) depends on this.
 StatusOr<GraphDelta> ParseDelta(
     std::string_view text, const Graph& g,
-    const std::unordered_map<std::string, NodeId>& base_entities);
+    const std::unordered_map<std::string, NodeId>& base_entities,
+    std::unordered_map<std::string, NodeId>* new_bindings = nullptr);
 
 }  // namespace gkeys
 

@@ -1,0 +1,49 @@
+#include "storage/fault_store.h"
+
+#include <utility>
+
+namespace gkeys {
+namespace storage {
+
+Status FaultInjectingStore::Put(std::string key, std::string value) {
+  if (puts_++ == script_.fail_put_at) return script_.error;
+  return base_.Put(std::move(key), std::move(value));
+}
+
+Status FaultInjectingStore::Flush() {
+  if (flushes_++ == script_.fail_flush_at) return script_.error;
+  return base_.Flush();
+}
+
+std::string_view FaultInjectingStore::Tamper(std::string_view key,
+                                             std::string_view value) const {
+  if (script_.corrupt_key.empty() || key != script_.corrupt_key) return value;
+  scratch_.assign(value);
+  if (script_.corrupt_at < scratch_.size()) {
+    scratch_[script_.corrupt_at] = static_cast<char>(
+        scratch_[script_.corrupt_at] ^ script_.corrupt_mask);
+  }
+  if (script_.truncate_to < scratch_.size())
+    scratch_.resize(script_.truncate_to);
+  return scratch_;
+}
+
+StatusOr<std::string_view> FaultInjectingStore::Get(
+    std::string_view key) const {
+  if (gets_++ == script_.fail_get_at) return script_.error;
+  auto value = base_.Get(key);
+  if (!value.ok()) return value;
+  return Tamper(key, *value);
+}
+
+Status FaultInjectingStore::Scan(std::string_view prefix,
+                                 const ScanFn& fn) const {
+  if (scans_++ == script_.fail_scan_at) return script_.error;
+  return base_.Scan(prefix, [this, &fn](std::string_view key,
+                                        std::string_view value) {
+    return fn(key, Tamper(key, value));
+  });
+}
+
+}  // namespace storage
+}  // namespace gkeys

@@ -1,0 +1,81 @@
+#ifndef GKEYS_STORAGE_FAULT_STORE_H_
+#define GKEYS_STORAGE_FAULT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/store.h"
+
+namespace gkeys {
+namespace storage {
+
+/// A Store wrapper that injects scripted failures at the Store seam —
+/// the FESTIval-style layering: the fault layer is a wrapper any backend
+/// slots under, not a fork of one. Where the fileops shim
+/// (storage/file_ops.h) faults the OS primitives BELOW MmapStore and
+/// DeltaLog, this wrapper faults the four Store calls ABOVE any backend,
+/// which is what the codec robustness tests need: what do Snapshot::Save
+/// and Load do when the Nth Put dies with ENOSPC, when Flush fails, when
+/// a Get hands back flipped or truncated bytes?
+///
+/// All scripting is by 0-based operation index per call kind. Counters
+/// keep counting after a fault fires, so a dry run (no script) measures
+/// how many injection points a scenario has and a harness can then
+/// enumerate them.
+class FaultInjectingStore : public Store {
+ public:
+  struct Script {
+    /// Fail the Nth Put / Flush / Get / Scan with `error` (-1 = never).
+    int64_t fail_put_at = -1;
+    int64_t fail_flush_at = -1;
+    int64_t fail_get_at = -1;
+    int64_t fail_scan_at = -1;
+    Status error = Status::IoError("injected fault");
+    /// When set, Get/Scan of exactly this key serve a tampered value:
+    /// byte `corrupt_at` XOR `corrupt_mask` (if in range), and the value
+    /// truncated to `truncate_to` bytes when that is shorter.
+    std::string corrupt_key;
+    size_t corrupt_at = 0;
+    uint8_t corrupt_mask = 0;
+    size_t truncate_to = SIZE_MAX;
+  };
+
+  /// Wraps `base`, which must outlive this store.
+  explicit FaultInjectingStore(Store& base) : base_(base) {}
+
+  FaultInjectingStore& script(Script s) {
+    script_ = std::move(s);
+    return *this;
+  }
+  const Script& script() const { return script_; }
+
+  int64_t puts() const { return puts_; }
+  int64_t flushes() const { return flushes_; }
+  int64_t gets() const { return gets_; }
+  int64_t scans() const { return scans_; }
+
+  Status Put(std::string key, std::string value) override;
+  Status Flush() override;
+  StatusOr<std::string_view> Get(std::string_view key) const override;
+  Status Scan(std::string_view prefix, const ScanFn& fn) const override;
+
+ private:
+  /// Applies the corrupt_key tampering to a served value, materializing
+  /// it into `scratch_` (views into the base store stay untouched).
+  std::string_view Tamper(std::string_view key, std::string_view value) const;
+
+  Store& base_;
+  Script script_;
+  // Read-side counters are mutable: Get/Scan are const on Store.
+  int64_t puts_ = 0;
+  int64_t flushes_ = 0;
+  mutable int64_t gets_ = 0;
+  mutable int64_t scans_ = 0;
+  mutable std::string scratch_;
+};
+
+}  // namespace storage
+}  // namespace gkeys
+
+#endif  // GKEYS_STORAGE_FAULT_STORE_H_

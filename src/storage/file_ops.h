@@ -1,0 +1,129 @@
+#ifndef GKEYS_STORAGE_FILE_OPS_H_
+#define GKEYS_STORAGE_FILE_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gkeys {
+namespace storage {
+namespace fileops {
+
+/// The faultable file primitives MmapStore and DeltaLog write through.
+/// Production behavior is the plain POSIX call (with the full-write /
+/// EINTR loop the raw syscalls need); tests install a FaultInjector to
+/// script the Nth write failing with ENOSPC, a short (torn) write, a bit
+/// flip that reaches disk, or a hard crash point after which every later
+/// operation fails — which is how the crash-point enumeration harness
+/// walks a save → append×k → save schedule and proves recovery lands on
+/// exactly the last durable state at every point.
+///
+/// Durability contract the callers build on:
+///   - WriteFull returns OK only when every byte was accepted by the
+///     kernel (short writes and EINTR are retried, not surfaced).
+///   - Fsync / FsyncDir return OK only when the kernel acknowledged the
+///     flush — an acknowledged record or rename survives a crash.
+///   - Rename is atomic; combined with "fsync the temp file first, fsync
+///     the parent directory after", a crash never leaves a half-replaced
+///     file behind the old name.
+
+enum class OpKind : uint8_t {
+  kOpen = 0,
+  kWrite,
+  kFsync,
+  kRename,
+  kFsyncDir,
+  kTruncate,
+};
+const char* OpKindName(OpKind kind);
+
+/// What the injector tells one faultable primitive to do.
+struct FaultAction {
+  /// Nonzero: fail the op with this errno (nothing is performed, except
+  /// see write_prefix below).
+  int fail_errno = 0;
+  /// kWrite with fail_errno set: persist this many leading bytes before
+  /// failing — a torn write whose prefix reached the file.
+  size_t write_prefix = 0;
+  /// kWrite only: XOR this mask into the buffer byte at flip_at before
+  /// writing, so the corruption reaches disk and only checksums can
+  /// catch it. Independent of fail_errno (the write itself succeeds).
+  uint8_t flip_mask = 0;
+  size_t flip_at = 0;
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  /// Consulted before every faultable primitive; return a default
+  /// FaultAction to let the op proceed.
+  virtual FaultAction OnOp(OpKind kind, const std::string& path) = 0;
+};
+
+/// Installs a process-wide injector (nullptr restores production
+/// behavior). Test-only and not synchronized: install before exercising
+/// the storage layer, from the thread that will drive it.
+void SetFaultInjector(FaultInjector* injector);
+FaultInjector* GetFaultInjector();
+
+/// A scriptable injector covering the fault menu the tests need: fail
+/// the `fail_at`-th faultable op (0-based, counted across every kind, or
+/// only ops of `only_kind` when set); optionally enter a crashed state
+/// where all later ops fail EIO — the in-process stand-in for SIGKILL,
+/// after which the test discards its in-memory state and runs recovery
+/// on whatever reached the filesystem.
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  int64_t fail_at = -1;  // -1 = never fire (pure op counting)
+  bool has_kind_filter = false;
+  OpKind only_kind = OpKind::kWrite;
+  FaultAction action{/*fail_errno=*/5 /*EIO*/};
+  bool crash_after = false;
+
+  /// Faultable ops observed so far (matching the kind filter). A dry run
+  /// with fail_at = -1 counts the injection points of a schedule; the
+  /// harness then replays it once per point.
+  int64_t ops_seen = 0;
+  bool fired = false;
+  bool crashed = false;
+
+  FaultAction OnOp(OpKind kind, const std::string& path) override;
+};
+
+/// RAII installer so a test failure cannot leak an injector into later
+/// tests.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector) {
+    SetFaultInjector(injector);
+  }
+  ~ScopedFaultInjector() { SetFaultInjector(nullptr); }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+};
+
+// ---- Faultable primitives ---------------------------------------------
+
+/// Opens `path` for writing (O_CREAT; O_TRUNC or O_APPEND per flags).
+StatusOr<int> OpenForWrite(const std::string& path, bool truncate,
+                           bool append);
+/// Writes all of `data`, looping over EINTR and short writes. IoError
+/// (with the op's errno) when the kernel rejects bytes.
+Status WriteFull(int fd, std::string_view data, const std::string& path);
+Status Fsync(int fd, const std::string& path);
+Status Rename(const std::string& from, const std::string& to);
+/// fsyncs the directory containing `path` (the file's parent), making a
+/// rename or creation of `path` itself durable.
+Status FsyncParentDir(const std::string& path);
+Status Truncate(const std::string& path, uint64_t size);
+/// Not faultable: closing is cleanup, never a durability point.
+void Close(int fd);
+
+}  // namespace fileops
+}  // namespace storage
+}  // namespace gkeys
+
+#endif  // GKEYS_STORAGE_FILE_OPS_H_

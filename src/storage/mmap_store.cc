@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "common/endian.h"
+#include "common/hash.h"
+#include "storage/file_ops.h"
 
 namespace gkeys {
 namespace storage {
@@ -19,15 +21,6 @@ namespace {
 
 constexpr char kMagic[8] = {'G', 'K', 'E', 'Y', 'S', 'N', 'A', 'P'};
 constexpr size_t kHeaderBytes = 36;
-
-uint64_t Fnv1a64(std::string_view data) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
 
 Status Corrupt(const std::string& path, const std::string& what) {
   return Status::ParseError("snapshot file " + path + ": " + what);
@@ -96,23 +89,27 @@ Status MmapStore::Flush() {
   file += data;
   file += index;
 
-  // Write-then-rename: a torn write never replaces a good snapshot.
+  // Write-temp, fsync, rename, fsync-parent-dir: a torn write never
+  // replaces a good snapshot, and a survived rename always has the bytes
+  // behind it (renaming an unfsynced temp can outlive its contents).
+  // Every primitive goes through the fileops shim, so the fault-injection
+  // tests can fail or tear any step. On any failure the previous file at
+  // `path_` is untouched; the temp is removed best-effort.
   const std::string tmp = path_ + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr)
-    return Status::IoError("cannot open " + tmp + " for writing: " +
-                           std::strerror(errno));
-  size_t written = std::fwrite(file.data(), 1, file.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != file.size() || close_rc != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("short write to " + tmp);
+  Status st;
+  {
+    auto fd = fileops::OpenForWrite(tmp, /*truncate=*/true, /*append=*/false);
+    if (!fd.ok()) return fd.status();
+    st = fileops::WriteFull(*fd, file, tmp);
+    if (st.ok()) st = fileops::Fsync(*fd, tmp);
+    fileops::Close(*fd);
   }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+  if (st.ok()) st = fileops::Rename(tmp, path_);
+  if (!st.ok()) {
     std::remove(tmp.c_str());
-    return Status::IoError("cannot rename " + tmp + " to " + path_ + ": " +
-                           std::strerror(errno));
+    return st;
   }
+  GKEYS_RETURN_IF_ERROR(fileops::FsyncParentDir(path_));
 
   staged_.clear();
   writable_ = false;

@@ -30,8 +30,11 @@ namespace storage {
 ///     tail      record count × be64 record offset (into the data region)
 ///
 /// Write path: Create() stages Puts in memory; Flush() writes the whole
-/// file to `path + ".tmp"` and renames it into place (a torn write never
-/// replaces a previous good snapshot), then maps it for reading.
+/// file to `path + ".tmp"` (full-write loop), fsyncs it, renames it into
+/// place, and fsyncs the parent directory (a torn write never replaces a
+/// previous good snapshot, and a rename that survives a crash always has
+/// its bytes behind it), then maps it for reading. All file primitives
+/// go through storage/file_ops.h, so tests can fault any step.
 /// Read path: Open() maps an existing file read-only; Put on it is
 /// FailedPrecondition. Every field of an opened file is bounds- and
 /// checksum-validated before use, so truncated or corrupted files (and

@@ -1,0 +1,153 @@
+#include "storage/recovery.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <unistd.h>
+
+#include "io/triples.h"
+#include "storage/delta_log.h"
+#include "storage/durable_dir.h"
+#include "storage/mmap_store.h"
+
+namespace gkeys {
+namespace storage {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status LossAt(size_t batch_index, const Status& cause) {
+  return Status::DataLoss("acknowledged batch " + std::to_string(batch_index) +
+                          " is unrecoverable: " + std::string(cause.message()));
+}
+
+std::string GenPath(const std::string& dir, const char* prefix, uint64_t g,
+                    const char* suffix) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06llu%s", prefix,
+                static_cast<unsigned long long>(g), suffix);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+StatusOr<RecoveredSession> Recover(const std::string& dir,
+                                   const Matcher& matcher) {
+  auto gens = DurableDir::ListGenerations(dir);
+  if (!gens.ok() || gens->empty())
+    return Status::NotFound("no snapshot in " + dir);
+
+  // PICK: newest generation whose snapshot opens and loads cleanly. A
+  // snapshot only becomes visible through MmapStore's atomic rename, so
+  // a skip here means post-install corruption, not a crash artifact.
+  // Recovery reads paths directly rather than DurableDir::Open — it must
+  // stay read-only until the caller decides what to do with the state.
+  std::unique_ptr<Snapshot> base;
+  uint64_t generation = 0;
+  size_t skipped = 0;
+  for (uint64_t g : *gens) {
+    auto store = MmapStore::Open(GenPath(dir, "snap.", g, ".gks"));
+    if (!store.ok()) {
+      ++skipped;
+      continue;
+    }
+    auto snap = Snapshot::Load(**store);
+    if (!snap.ok()) {
+      ++skipped;
+      continue;
+    }
+    base = std::make_unique<Snapshot>(std::move(*snap));
+    generation = g;
+    break;
+  }
+  if (base == nullptr)
+    return Status::DataLoss("every snapshot in " + dir + " is corrupt (" +
+                            std::to_string(skipped) + " tried)");
+
+  RecoveredSession session{std::move(*base), {}, {}};
+  session.entity_names = session.snapshot.entity_names();
+  session.report.generation = generation;
+  session.report.snapshots_skipped = skipped;
+  session.report.pairs = session.snapshot.result().pairs.size();
+
+  // REPLAY: the base generation's write-ahead log. Missing log = a save
+  // that crashed between snapshot install and log creation, or a pre-WAL
+  // snapshot directory — either way zero acknowledged batches, a clean
+  // no-op.
+  const std::string wal_path = GenPath(dir, "wal.", generation, ".log");
+  if (!FileExists(wal_path)) return session;
+
+  auto replay = DeltaLog::Replay(wal_path);
+  if (!replay.ok()) {
+    if (replay.status().code() == StatusCode::kDataLoss)
+      return replay.status();
+    // A log whose fsync'd header no longer parses is corruption of
+    // acknowledged bytes, not a torn tail.
+    return Status::DataLoss("log " + wal_path + ": " +
+                            std::string(replay.status().message()));
+  }
+  session.report.batches_truncated = replay->truncated;
+  if (!replay->has_header) return session;  // header never hit disk: no-op
+  if (replay->generation != generation)
+    return Status::DataLoss(
+        "log " + wal_path + " belongs to generation " +
+        std::to_string(replay->generation) + ", snapshot is generation " +
+        std::to_string(generation));
+
+  // APPLY: every surviving record passed its checksum, so it was
+  // acknowledged — any failure from here on is real data loss. Each
+  // batch runs the normal incremental lifecycle (Apply → Patch →
+  // Rematch via Snapshot::Resume), so the recovered result is
+  // byte-identical to an uninterrupted process's. Replay follows the
+  // SNAPSHOT's algorithm when the caller's differs — the stored plan was
+  // compiled for it (e.g. the EMVC family needs its product graph), and
+  // all six produce identical pairs anyway.
+  Matcher replayer = matcher;
+  if (replayer.algorithm() != session.snapshot.algorithm()) {
+    int procs = replayer.options().processors;
+    replayer.algorithm(session.snapshot.algorithm()).processors(procs);
+  }
+  for (size_t i = 0; i < replay->records.size(); ++i) {
+    const std::string& rec = replay->records[i];
+    if (rec.empty()) return LossAt(i, Status::ParseError("empty payload"));
+    std::string_view body(rec.data() + 1, rec.size() - 1);
+    std::unordered_map<std::string, NodeId> new_bindings;
+    auto delta = [&]() -> StatusOr<GraphDelta> {
+      switch (rec[0]) {
+        case DurableDir::kBinaryDeltaTag:
+          return DecodeDelta(body, session.snapshot.graph());
+        case DurableDir::kTextDeltaTag:
+          return ParseDelta(body, session.snapshot.graph(),
+                            session.entity_names, &new_bindings);
+        default:
+          return Status::ParseError(std::string("unknown batch tag '") +
+                                    rec[0] + "'");
+      }
+    }();
+    if (!delta.ok()) return LossAt(i, delta.status());
+    auto result = session.snapshot.Resume(replayer, *delta);
+    if (!result.ok()) return LossAt(i, result.status());
+    // The staged ids new_bindings carries are exactly what Apply just
+    // materialized, so they are valid session NodeIds from here on.
+    for (auto& [token, id] : new_bindings) session.entity_names[token] = id;
+    ++session.report.batches_replayed;
+  }
+  session.report.pairs = session.snapshot.result().pairs.size();
+  return session;
+}
+
+}  // namespace storage
+
+// Defined here, not in core/, so the core library stays layered below
+// the storage subsystem (mirrors Matcher::Resume in snapshot.cc).
+StatusOr<storage::RecoveredSession> Matcher::Recover(
+    const std::string& dir) const {
+  return storage::Recover(dir, *this);
+}
+
+}  // namespace gkeys

@@ -4,9 +4,11 @@
 // process must resume correctly in another — and the empty-delta no-op
 // short-circuit on both the match and load paths.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -170,6 +172,155 @@ TEST_F(CliTest, UnknownCommandPrintsUsage) {
   RunOutput out = RunCli("frobnicate");
   EXPECT_NE(out.exit_code, 0);
   EXPECT_NE(out.text.find("usage"), std::string::npos) << out.text;
+}
+
+// ---- Durable-directory flow: save --dir / ingest / recover -------------
+
+std::string SlurpBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void SpitBinary(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "gkeys_cli_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  return dir;
+}
+
+TEST_F(CliTest, DurableSaveIngestRecoverFlow) {
+  std::string dir = FreshDir("ddir_flow");
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+  EXPECT_NE(save.text.find("generation=1"), std::string::npos) << save.text;
+  EXPECT_EQ(LastPairs(save.text), 2) << save.text;
+
+  RunOutput ingest = RunCli("ingest " + dir + " " + delta_);
+  ASSERT_EQ(ingest.exit_code, 0) << ingest.text;
+  EXPECT_EQ(LastPairs(ingest.text), 4) << ingest.text;
+  EXPECT_NE(ingest.text.find("wal_records=1"), std::string::npos)
+      << ingest.text;
+
+  // A separate process recovers to exactly the acknowledged state.
+  RunOutput recover = RunCli("recover " + dir);
+  ASSERT_EQ(recover.exit_code, 0) << recover.text;
+  EXPECT_NE(recover.text.find("generation=1"), std::string::npos)
+      << recover.text;
+  EXPECT_NE(recover.text.find("batches_replayed=1"), std::string::npos)
+      << recover.text;
+  EXPECT_NE(recover.text.find("batches_truncated=0"), std::string::npos)
+      << recover.text;
+  EXPECT_EQ(LastPairs(recover.text), 4) << recover.text;
+}
+
+TEST_F(CliTest, IngestEmptyDeltaIsNoOp) {
+  std::string dir = FreshDir("ddir_empty");
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+  RunOutput ingest = RunCli("ingest " + dir + " " + empty_);
+  EXPECT_EQ(ingest.exit_code, 0) << ingest.text;
+  EXPECT_NE(ingest.text.find("no-op"), std::string::npos) << ingest.text;
+
+  RunOutput recover = RunCli("recover " + dir + " --quiet");
+  EXPECT_EQ(recover.exit_code, 0) << recover.text;
+  EXPECT_NE(recover.text.find("batches_replayed=0"), std::string::npos)
+      << recover.text;
+}
+
+TEST_F(CliTest, RecoverTruncatesTornWalTail) {
+  std::string dir = FreshDir("ddir_torn");
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+  RunOutput ingest = RunCli("ingest " + dir + " " + delta_);
+  ASSERT_EQ(ingest.exit_code, 0) << ingest.text;
+
+  // A crash mid-append leaves garbage after the acknowledged record.
+  std::string wal = dir + "/wal.000001.log";
+  SpitBinary(wal, SlurpBinary(wal) + "crash mid-append");
+
+  RunOutput recover = RunCli("recover " + dir + " --quiet");
+  ASSERT_EQ(recover.exit_code, 0) << recover.text;
+  EXPECT_NE(recover.text.find("batches_replayed=1"), std::string::npos)
+      << recover.text;
+  EXPECT_NE(recover.text.find("batches_truncated=1"), std::string::npos)
+      << recover.text;
+  EXPECT_EQ(LastPairs(recover.text), 4) << recover.text;
+}
+
+TEST_F(CliTest, RecoverCorruptAcknowledgedBatchIsDataLoss) {
+  std::string dir = FreshDir("ddir_loss");
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+  ASSERT_EQ(RunCli("ingest " + dir + " " + delta_).exit_code, 0);
+  std::string delta2 = TempFile(
+      "delta2.triples",
+      "+ ent:company:c7 name_of val:\"SBC\"\n"
+      "+ ent:company:c0 parent_of ent:company:c7\n");
+  ASSERT_EQ(RunCli("ingest " + dir + " " + delta2).exit_code, 0);
+
+  // Flip a payload byte of the FIRST record; the second record proves it
+  // was acknowledged, so this is unrecoverable — exit nonzero, one line.
+  std::string wal = dir + "/wal.000001.log";
+  std::string bytes = SlurpBinary(wal);
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[33] = static_cast<char>(bytes[33] ^ 0x01);
+  SpitBinary(wal, bytes);
+
+  RunOutput recover = RunCli("recover " + dir);
+  EXPECT_NE(recover.exit_code, 0);
+  EXPECT_NE(recover.text.find("DataLoss"), std::string::npos)
+      << recover.text;
+}
+
+TEST_F(CliTest, RecoverMissingDirFailsCleanly) {
+  RunOutput recover = RunCli("recover " + FreshDir("ddir_nothere"));
+  EXPECT_NE(recover.exit_code, 0);
+  EXPECT_NE(recover.text.find("NotFound"), std::string::npos)
+      << recover.text;
+}
+
+// ---- Corrupt-snapshot audit: every load path exits 1 with one line -----
+
+void ExpectOneLineFailure(const RunOutput& out) {
+  EXPECT_NE(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("Error"), std::string::npos) << out.text;
+  // One diagnostic line, not a spray: at most one newline-terminated line.
+  EXPECT_LE(std::count(out.text.begin(), out.text.end(), '\n'), 1)
+      << out.text;
+}
+
+TEST_F(CliTest, LoadTruncatedSnapshotFailsWithOneLine) {
+  std::string snap = ::testing::TempDir() + "gkeys_cli_trunc.gks";
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " " + snap);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+  std::string bytes = SlurpBinary(snap);
+  for (size_t keep : {size_t{3}, size_t{16}, bytes.size() / 2}) {
+    SpitBinary(snap, bytes.substr(0, keep));
+    ExpectOneLineFailure(RunCli("load " + snap));
+  }
+}
+
+TEST_F(CliTest, LoadFlippedHeaderFailsWithOneLine) {
+  std::string snap = ::testing::TempDir() + "gkeys_cli_flip.gks";
+  RunOutput save = RunCli("save " + graph_ + " " + keys_ + " " + snap);
+  ASSERT_EQ(save.exit_code, 0) << save.text;
+  std::string bytes = SlurpBinary(snap);
+  bytes[0] = static_cast<char>(bytes[0] ^ 0xff);
+  SpitBinary(snap, bytes);
+  ExpectOneLineFailure(RunCli("load " + snap));
+}
+
+TEST_F(CliTest, LoadEmptySnapshotFailsWithOneLine) {
+  std::string snap = TempFile("empty.gks", "");
+  ExpectOneLineFailure(RunCli("load " + snap));
 }
 
 }  // namespace

@@ -11,7 +11,13 @@
 //   gkeys stats <graph.triples>
 //   gkeys save <graph.triples> <keys.dsl> <out.snapshot> [--algorithm=NAME]
 //              [--processors=N]
+//   gkeys save <graph.triples> <keys.dsl> --dir=DIR [--algorithm=NAME]
+//              [--processors=N]            (durable directory, generation 1)
 //   gkeys load <snapshot> [--delta=DELTA.triples] [--processors=N]
+//   gkeys ingest <dir> <delta.triples> [--processors=N]
+//                                       (apply + write-ahead-log the batch)
+//   gkeys recover <dir> [--processors=N] [--quiet]
+//                                       (crash recovery: snapshot + log)
 
 #include <algorithm>
 #include <chrono>
@@ -26,7 +32,9 @@
 #include "gen/synthetic.h"
 #include "graph/merge.h"
 #include "io/triples.h"
+#include "storage/durable_dir.h"
 #include "storage/mmap_store.h"
+#include "storage/recovery.h"
 #include "storage/snapshot.h"
 
 namespace {
@@ -35,8 +43,8 @@ using namespace gkeys;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gkeys <match|check|discover|generate|stats|save|load>"
-               " ...\n"
+               "usage: gkeys <match|check|discover|generate|stats|save|load|"
+               "ingest|recover> ...\n"
                "  match <graph> <keys.dsl> [--algorithm=EMMR|EMVF2MR|"
                "EMOptMR|EMVC|EMOptVC|NaiveChase] [--processors=N]\n"
                "        [--stream] [--provenance] [--fuse=out.triples]\n"
@@ -48,8 +56,14 @@ int Usage() {
                "  stats <graph>\n"
                "  save <graph> <keys.dsl> <out.snapshot> [--algorithm=NAME] "
                "[--processors=N]  (compile + run + persist)\n"
+               "  save <graph> <keys.dsl> --dir=DIR [--algorithm=NAME] "
+               "[--processors=N]  (durable directory: snapshot + WAL)\n"
                "  load <snapshot> [--delta=delta.triples] [--processors=N]  "
-               "(restore; apply pending deltas incrementally)\n");
+               "(restore; apply pending deltas incrementally)\n"
+               "  ingest <dir> <delta.triples> [--processors=N]  (apply one "
+               "batch and make it durable in the write-ahead log)\n"
+               "  recover <dir> [--processors=N] [--quiet]  (rebuild from "
+               "newest valid snapshot + surviving log records)\n");
   return 2;
 }
 
@@ -333,7 +347,8 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 }
 
 int CmdSave(int argc, char** argv) {
-  if (argc < 5) return Usage();
+  std::string dir = FlagValue(argc, argv, "--dir", "");
+  if (argc < (dir.empty() ? 5 : 4)) return Usage();
   auto loaded = LoadGraphWithNames(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -366,6 +381,31 @@ int CmdSave(int argc, char** argv) {
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
+  }
+
+  if (!dir.empty()) {
+    // Durable-directory form: the snapshot becomes generation g+1 of
+    // `dir` (atomic install) with a fresh write-ahead log for `ingest`.
+    auto t0 = std::chrono::steady_clock::now();
+    auto ddir = storage::DurableDir::Open(dir);
+    if (!ddir.ok()) {
+      std::fprintf(stderr, "%s\n", ddir.status().ToString().c_str());
+      return 1;
+    }
+    Status st = ddir->SaveSnapshot(loaded->graph, *keys, *plan, *run, algo,
+                                   &loaded->entities);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("# saved %s generation=%llu: algorithm=%s pairs=%zu "
+                "compile=%.1fms run=%.1fms save=%.1fms\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(ddir->generation()),
+                AlgorithmName(algo).c_str(), run->pairs.size(),
+                plan->compile_seconds() * 1e3, run->stats.run_seconds * 1e3,
+                SecondsSince(t0) * 1e3);
+    return 0;
   }
 
   auto t0 = std::chrono::steady_clock::now();
@@ -450,6 +490,118 @@ int CmdLoad(int argc, char** argv) {
   return 0;
 }
 
+int CmdIngest(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string dir = argv[2];
+  int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
+  if (p <= 0) p = 4;
+
+  auto text = ReadFile(argv[3]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+
+  // Rebuild the session exactly as a post-crash process would, so
+  // ingestion after an unclean shutdown picks up where the log ends.
+  Matcher matcher;
+  matcher.processors(p);
+  auto t0 = std::chrono::steady_clock::now();
+  auto session = matcher.Recover(dir);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto delta = ParseDelta(*text, session->snapshot.graph(),
+                          session->entity_names);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+    return 1;
+  }
+  if (delta->empty()) {
+    std::printf("# delta file '%s' is empty: no-op (nothing logged)\n",
+                argv[3]);
+    return 0;
+  }
+
+  // Apply first, log second: a batch enters the WAL only after the
+  // incremental lifecycle accepted it, so replay can never fail on it;
+  // the batch is acknowledged (printed OK) only after the fsync'd
+  // append. A crash in between loses only this unacknowledged batch.
+  size_t prev_pairs = session->snapshot.result().pairs.size();
+  Matcher replayer(session->snapshot.algorithm());
+  replayer.processors(p);
+  auto resumed = session->snapshot.Resume(replayer, *delta);
+  if (!resumed.ok()) {
+    std::fprintf(stderr, "%s\n", resumed.status().ToString().c_str());
+    return 1;
+  }
+  auto ddir = storage::DurableDir::Open(dir);
+  if (!ddir.ok()) {
+    std::fprintf(stderr, "%s\n", ddir.status().ToString().c_str());
+    return 1;
+  }
+  if (ddir->generation() != session->report.generation) {
+    // Recovery fell back past a corrupt newer snapshot; appending to the
+    // newest generation's log would put the batch where replay cannot
+    // see it. Refuse rather than acknowledge a batch recovery would lose.
+    std::fprintf(stderr,
+                 "DataLoss: recovered generation %llu but the newest in %s "
+                 "is %llu; re-save a snapshot before ingesting\n",
+                 static_cast<unsigned long long>(session->report.generation),
+                 dir.c_str(),
+                 static_cast<unsigned long long>(ddir->generation()));
+    return 1;
+  }
+  Status st = ddir->AppendDeltaText(*text);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("# ingested +%zu -%zu triples into %s generation=%llu: "
+              "pairs=%zu (%+ld) wal_records=%zu total=%.1fms\n",
+              delta->num_added_triples(), delta->num_removed_triples(),
+              dir.c_str(),
+              static_cast<unsigned long long>(ddir->generation()),
+              resumed->pairs.size(),
+              static_cast<long>(resumed->pairs.size()) -
+                  static_cast<long>(prev_pairs),
+              ddir->wal_records(), SecondsSince(t0) * 1e3);
+  return 0;
+}
+
+int CmdRecover(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
+  if (p <= 0) p = 4;
+
+  Matcher matcher;
+  matcher.processors(p);
+  auto t0 = std::chrono::steady_clock::now();
+  auto session = matcher.Recover(argv[2]);
+  if (!session.ok()) {
+    // One line per failure mode: NotFound (no snapshot at all) and
+    // DataLoss (an acknowledged batch is unrecoverable) both land here.
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  const storage::RecoveryReport& rep = session->report;
+  std::printf("# recovered %s: generation=%llu snapshots_skipped=%zu "
+              "batches_replayed=%zu batches_truncated=%zu pairs=%zu "
+              "recover=%.1fms\n",
+              argv[2], static_cast<unsigned long long>(rep.generation),
+              rep.snapshots_skipped, rep.batches_replayed,
+              rep.batches_truncated, rep.pairs, SecondsSince(t0) * 1e3);
+  if (!HasFlag(argc, argv, "--quiet")) {
+    const Graph& g = session->snapshot.graph();
+    for (auto [a, b] : session->snapshot.result().pairs) {
+      std::printf("%s == %s\n", g.DescribeNode(a).c_str(),
+                  g.DescribeNode(b).c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
   auto graph = LoadGraph(argv[2]);
@@ -481,5 +633,7 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "save") return CmdSave(argc, argv);
   if (cmd == "load") return CmdLoad(argc, argv);
+  if (cmd == "ingest") return CmdIngest(argc, argv);
+  if (cmd == "recover") return CmdRecover(argc, argv);
   return Usage();
 }
