@@ -40,7 +40,7 @@ Graph RebuildWithout(const Graph& src, const std::vector<Triple>& triples,
   for (size_t i = 0; i < triples.size(); ++i) {
     if (held[i]) continue;
     const Triple& t = triples[i];
-    (void)g.AddTriple(t.subject, src.interner().Resolve(t.pred), t.object);
+    g.AddTriple(t.subject, src.interner().Resolve(t.pred), t.object).IgnoreError();
   }
   g.Finalize();
   return g;
@@ -134,13 +134,13 @@ void RegisterAll() {
                 if (!held[i] && !removed[i]) continue;
                 const Triple& t = triples[i];
                 if (held[i]) {
-                  (void)delta.AddTriple(
+                  delta.AddTriple(
                       t.subject, data.graph.interner().Resolve(t.pred),
-                      t.object);
+                      t.object).IgnoreError();
                 } else {
-                  (void)delta.RemoveTriple(
+                  delta.RemoveTriple(
                       t.subject, data.graph.interner().Resolve(t.pred),
-                      t.object);
+                      t.object).IgnoreError();
                 }
               }
               state.ResumeTiming();

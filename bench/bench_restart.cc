@@ -50,7 +50,7 @@ Graph RebuildWithout(const Graph& src, const std::vector<Triple>& triples,
   for (size_t i = 0; i < triples.size(); ++i) {
     if (held[i]) continue;
     const Triple& t = triples[i];
-    (void)g.AddTriple(t.subject, src.interner().Resolve(t.pred), t.object);
+    g.AddTriple(t.subject, src.interner().Resolve(t.pred), t.object).IgnoreError();
   }
   g.Finalize();
   return g;
@@ -164,9 +164,9 @@ void RegisterAll() {
                   for (size_t i = 0; i < triples.size(); ++i) {
                     if (!held[i]) continue;
                     const Triple& t = triples[i];
-                    (void)delta.AddTriple(
+                    delta.AddTriple(
                         t.subject, data.graph.interner().Resolve(t.pred),
-                        t.object);
+                        t.object).IgnoreError();
                   }
                   Timer resume_timer;
                   auto resumed = matcher.Resume(*snap, delta);
@@ -352,9 +352,9 @@ void RegisterRecover() {
                   size_t hi = (b + 1) * held_idx.size() / batches;
                   for (size_t k = lo; k < hi; ++k) {
                     const Triple& t = triples[held_idx[k]];
-                    (void)delta.AddTriple(
+                    delta.AddTriple(
                         t.subject, data.graph.interner().Resolve(t.pred),
-                        t.object);
+                        t.object).IgnoreError();
                   }
                   st = ddir->AppendDelta(delta);
                   if (st.ok()) st = base.Apply(delta).status();

@@ -25,16 +25,16 @@ int main() {
   NodeId att = g.AddValue("AT&T");
   NodeId sbc = g.AddValue("SBC");
   for (NodeId c : {com0, com1, com2, com4, com5}) {
-    (void)g.AddTriple(c, "name_of", att);
+    g.AddTriple(c, "name_of", att).IgnoreError();
   }
-  (void)g.AddTriple(com3, "name_of", sbc);
-  (void)g.AddTriple(com0, "parent_of", com1);
-  (void)g.AddTriple(com0, "parent_of", com2);
-  (void)g.AddTriple(com0, "parent_of", com3);
-  (void)g.AddTriple(com1, "parent_of", com4);
-  (void)g.AddTriple(com2, "parent_of", com5);
-  (void)g.AddTriple(com3, "parent_of", com4);
-  (void)g.AddTriple(com3, "parent_of", com5);
+  g.AddTriple(com3, "name_of", sbc).IgnoreError();
+  g.AddTriple(com0, "parent_of", com1).IgnoreError();
+  g.AddTriple(com0, "parent_of", com2).IgnoreError();
+  g.AddTriple(com0, "parent_of", com3).IgnoreError();
+  g.AddTriple(com1, "parent_of", com4).IgnoreError();
+  g.AddTriple(com2, "parent_of", com5).IgnoreError();
+  g.AddTriple(com3, "parent_of", com4).IgnoreError();
+  g.AddTriple(com3, "parent_of", com5).IgnoreError();
   g.Finalize();
 
   KeySet keys;

@@ -24,18 +24,18 @@ int main() {
   NodeId alb2 = g.AddEntity("album");   // Anthology 2 (copy 2)
   NodeId alb3 = g.AddEntity("album");   // Farnham's Anthology 2
 
-  (void)g.AddTriple(art1, "name_of", g.AddValue("The Beatles"));
-  (void)g.AddTriple(art2, "name_of", g.AddValue("The Beatles"));
-  (void)g.AddTriple(art3, "name_of", g.AddValue("John Farnham"));
+  g.AddTriple(art1, "name_of", g.AddValue("The Beatles")).IgnoreError();
+  g.AddTriple(art2, "name_of", g.AddValue("The Beatles")).IgnoreError();
+  g.AddTriple(art3, "name_of", g.AddValue("John Farnham")).IgnoreError();
   for (NodeId alb : {alb1, alb2, alb3}) {
-    (void)g.AddTriple(alb, "name_of", g.AddValue("Anthology 2"));
+    g.AddTriple(alb, "name_of", g.AddValue("Anthology 2")).IgnoreError();
   }
-  (void)g.AddTriple(alb1, "release_year", g.AddValue("1996"));
-  (void)g.AddTriple(alb2, "release_year", g.AddValue("1996"));
-  (void)g.AddTriple(alb3, "release_year", g.AddValue("1997"));
-  (void)g.AddTriple(alb1, "recorded_by", art1);
-  (void)g.AddTriple(alb2, "recorded_by", art2);
-  (void)g.AddTriple(alb3, "recorded_by", art3);
+  g.AddTriple(alb1, "release_year", g.AddValue("1996")).IgnoreError();
+  g.AddTriple(alb2, "release_year", g.AddValue("1996")).IgnoreError();
+  g.AddTriple(alb3, "release_year", g.AddValue("1997")).IgnoreError();
+  g.AddTriple(alb1, "recorded_by", art1).IgnoreError();
+  g.AddTriple(alb2, "recorded_by", art2).IgnoreError();
+  g.AddTriple(alb3, "recorded_by", art3).IgnoreError();
   g.Finalize();
 
   // ---- 2. Declare keys (the paper's Q1, Q2, Q3) ----

@@ -27,7 +27,13 @@ enum class StatusCode {
 
 /// A lightweight success/error result. `Status::OK()` is the success value;
 /// every other status carries a code and a human-readable message.
-class Status {
+///
+/// The class is [[nodiscard]]: a call that returns a Status and ignores it
+/// is a compile error (with -Werror). Every result must be checked,
+/// propagated (GKEYS_RETURN_IF_ERROR), or — when ignoring is genuinely
+/// correct — explicitly discarded with IgnoreError() plus a comment saying
+/// why (see docs/ARCHITECTURE.md "Correctness tooling").
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -72,6 +78,14 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Explicitly discards this status. The ONLY sanctioned way to drop a
+  /// Status on the floor; each call site carries a comment justifying why
+  /// the error cannot matter there (best-effort cleanup, an error path
+  /// that is about to return a better error, a test asserting on other
+  /// state). Grep-able, so the repo linter and reviewers can audit every
+  /// deliberate discard.
+  void IgnoreError() const {}
+
   std::string ToString() const {
     if (ok()) return "OK";
     return CodeName(code_) + ": " + message_;
@@ -102,8 +116,10 @@ class Status {
 
 /// A value-or-error result. On success holds a `T`; on failure holds a
 /// non-OK Status. Accessing `value()` on an error aborts in debug builds.
+/// [[nodiscard]] like Status: discarding one silently loses both the value
+/// and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "StatusOr(Status) requires an error status");
@@ -112,6 +128,9 @@ class StatusOr {
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
+
+  /// See Status::IgnoreError — the sanctioned explicit discard.
+  void IgnoreError() const {}
 
   const T& value() const& {
     assert(ok());

@@ -1,0 +1,67 @@
+#ifndef GKEYS_COMMON_THREAD_ANNOTATIONS_H_
+#define GKEYS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (-Wthread-safety), compiled
+/// away on every other compiler. Annotating a member with GKEYS_GUARDED_BY
+/// (or a function with GKEYS_REQUIRES / GKEYS_EXCLUDES) turns the locking
+/// discipline the comments used to describe into a build error on clang:
+/// reading or writing the member without holding its mutex fails the
+/// `-Wthread-safety -Werror` CI job. See docs/ARCHITECTURE.md
+/// "Correctness tooling" for how to annotate a new mutex.
+///
+/// The macro set mirrors the de-facto-standard Abseil/LLVM naming, with a
+/// GKEYS_ prefix so nothing collides when this library is embedded.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GKEYS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GKEYS_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a type as a lockable capability (mutex-like classes).
+#define GKEYS_CAPABILITY(x) GKEYS_THREAD_ANNOTATION(capability(x))
+
+/// Marks a lock acquired in scope-guard style (std::lock_guard et al.).
+#define GKEYS_SCOPED_CAPABILITY GKEYS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GKEYS_GUARDED_BY(x) GKEYS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose POINTEE is guarded by `x` (the pointer itself may
+/// be read freely).
+#define GKEYS_PT_GUARDED_BY(x) GKEYS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called WITH the listed capabilities held.
+#define GKEYS_REQUIRES(...) \
+  GKEYS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must be called WITHOUT the listed capabilities held
+/// (it acquires them itself; calling it under the lock would deadlock).
+#define GKEYS_EXCLUDES(...) \
+  GKEYS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires / releases the capability itself.
+#define GKEYS_ACQUIRE(...) \
+  GKEYS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GKEYS_RELEASE(...) \
+  GKEYS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `ret`.
+#define GKEYS_TRY_ACQUIRE(ret, ...) \
+  GKEYS_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the calling thread already holds the capability
+/// (teaches the analysis about invariants it cannot derive).
+#define GKEYS_ASSERT_CAPABILITY(x) \
+  GKEYS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Return value is a reference to a capability-guarded object.
+#define GKEYS_RETURN_CAPABILITY(x) GKEYS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis. Reserve it
+/// for code the analysis cannot model (e.g. lock/unlock split across
+/// functions); every use should carry a justification comment.
+#define GKEYS_NO_THREAD_SAFETY_ANALYSIS \
+  GKEYS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // GKEYS_COMMON_THREAD_ANNOTATIONS_H_

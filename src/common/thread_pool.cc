@@ -15,30 +15,32 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_ != nullptr) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    cv_done_.Wait(lock, [this]() GKEYS_REQUIRES(mu_) {
+      return in_flight_ == 0;
+    });
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -47,16 +49,18 @@ void ThreadPool::WorkerLoop() {
   struct InFlightGuard {
     ThreadPool* pool;
     ~InFlightGuard() {
-      std::unique_lock<std::mutex> lock(pool->mu_);
+      MutexLock lock(pool->mu_);
       --pool->in_flight_;
-      if (pool->in_flight_ == 0) pool->cv_done_.notify_all();
+      if (pool->in_flight_ == 0) pool->cv_done_.NotifyAll();
     }
   };
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_task_.Wait(lock, [this]() GKEYS_REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -66,7 +70,7 @@ void ThreadPool::WorkerLoop() {
       try {
         task();
       } catch (...) {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (first_error_ == nullptr) {
           first_error_ = std::current_exception();
         }
@@ -93,7 +97,7 @@ void ParallelShards(int num_threads, size_t n,
   // A shard exception must not escape its std::thread (std::terminate);
   // the first one is captured and rethrown on the calling thread after
   // every shard has joined, matching ThreadPool::Wait's contract.
-  std::mutex error_mu;
+  Mutex error_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> threads;
   threads.reserve(p);
@@ -106,7 +110,7 @@ void ParallelShards(int num_threads, size_t n,
       try {
         fn(t, begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(error_mu);
         if (first_error == nullptr) first_error = std::current_exception();
       }
     });

@@ -1,15 +1,15 @@
 #ifndef GKEYS_COMMON_THREAD_POOL_H_
 #define GKEYS_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gkeys {
 
@@ -27,7 +27,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) GKEYS_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished (including tasks that
   /// exited by throwing). If any task threw since the last Wait(), the
@@ -35,21 +35,23 @@ class ThreadPool {
   /// the waiting thread instead of tearing down a worker — and the pool
   /// stays usable. Exceptions never drained by a Wait() are dropped on
   /// destruction.
-  void Wait();
+  void Wait() GKEYS_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GKEYS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  size_t in_flight_ = 0;  // queued + running tasks, guarded by mu_
-  bool stop_ = false;     // guarded by mu_
-  std::exception_ptr first_error_;  // first task exception, guarded by mu_
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GKEYS_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_done_;
+  /// Queued + running tasks.
+  size_t in_flight_ GKEYS_GUARDED_BY(mu_) = 0;
+  bool stop_ GKEYS_GUARDED_BY(mu_) = false;
+  /// First task exception since the last Wait().
+  std::exception_ptr first_error_ GKEYS_GUARDED_BY(mu_);
 };
 
 /// Runs `fn(i)` for i in [0, n) across `num_threads` threads, blocking until

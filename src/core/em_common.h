@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <iterator>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <tuple>
 #include <string>
@@ -14,7 +13,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "eq/equivalence.h"
 #include "graph/graph.h"
 #include "graph/neighborhood.h"
@@ -254,20 +255,20 @@ namespace internal {
 /// contention is negligible next to the isomorphism checks around them).
 class MergeLog {
  public:
-  void Record(NodeId a, NodeId b) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(NodeId a, NodeId b) GKEYS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     log_.emplace_back(a, b);
   }
 
   /// Moves out everything recorded since the previous Drain.
-  std::vector<std::pair<NodeId, NodeId>> Drain() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<NodeId, NodeId>> Drain() GKEYS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return std::exchange(log_, {});
   }
 
  private:
-  std::mutex mu_;
-  std::vector<std::pair<NodeId, NodeId>> log_;
+  Mutex mu_;
+  std::vector<std::pair<NodeId, NodeId>> log_ GKEYS_GUARDED_BY(mu_);
 };
 
 /// Collects the Derivations an engine records during a run (a mutex-
@@ -282,20 +283,20 @@ class MergeLog {
 /// never produce one.
 class DerivationLog {
  public:
-  void Record(Derivation d) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(Derivation d) GKEYS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     log_.push_back(std::move(d));
   }
 
   /// Moves out everything recorded so far (call once, post-fixpoint).
-  std::vector<Derivation> Take() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Derivation> Take() GKEYS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return std::exchange(log_, {});
   }
 
  private:
-  std::mutex mu_;
-  std::vector<Derivation> log_;
+  Mutex mu_;
+  std::vector<Derivation> log_ GKEYS_GUARDED_BY(mu_);
 };
 
 /// Assembles MatchResult::derivations at the end of an engine run: the

@@ -178,14 +178,14 @@ std::vector<DiscoveredKey> DiscoverKeys(const Graph& g,
     for (Symbol pred : cand.value_preds) {
       const std::string& pname = g.interner().Resolve(pred);
       name += "_" + pname;
-      (void)p.AddTriple(x, pname, p.AddValueVar("v" + std::to_string(vi++)));
+      p.AddTriple(x, pname, p.AddValueVar("v" + std::to_string(vi++))).IgnoreError();
     }
     if (cand.ref_pred != kNoSymbol) {
       const std::string& pname = g.interner().Resolve(cand.ref_pred);
       name += "_" + pname;
       int y = p.AddEntityVar(
           "y", g.interner().Resolve(idx.ref_target_type.at(cand.ref_pred)));
-      (void)p.AddTriple(x, pname, y);
+      p.AddTriple(x, pname, y).IgnoreError();
     }
     if (!p.Validate().ok()) return;
     DiscoveredKey dk{Key(name, std::move(p)), cov, cand.arity()};

@@ -62,26 +62,26 @@ SyntheticDataset GenerateGoogleSim(const GoogleSimConfig& config) {
 
   auto add_place = [&](const std::string& name, const std::string& zip) {
     NodeId e = g.AddEntity("place");
-    (void)g.AddTriple(e, "name", g.AddValue(name));
-    (void)g.AddTriple(e, "zip", g.AddValue(zip));
+    g.AddTriple(e, "name", g.AddValue(name)).IgnoreError();
+    g.AddTriple(e, "zip", g.AddValue(zip)).IgnoreError();
     return e;
   };
   auto add_university = [&](const std::string& name, const std::string& yr) {
     NodeId e = g.AddEntity("university");
-    (void)g.AddTriple(e, "name", g.AddValue(name));
-    (void)g.AddTriple(e, "established", g.AddValue(yr));
+    g.AddTriple(e, "name", g.AddValue(name)).IgnoreError();
+    g.AddTriple(e, "established", g.AddValue(yr)).IgnoreError();
     return e;
   };
   auto add_major = [&](const std::string& name) {
     NodeId e = g.AddEntity("major");
-    (void)g.AddTriple(e, "name", g.AddValue(name));
-    (void)g.AddTriple(e, "field", g.AddValue(uniq("field")));
+    g.AddTriple(e, "name", g.AddValue(name)).IgnoreError();
+    g.AddTriple(e, "field", g.AddValue(uniq("field"))).IgnoreError();
     return e;
   };
   auto add_employer = [&](const std::string& name, NodeId place) {
     NodeId e = g.AddEntity("employer");
-    (void)g.AddTriple(e, "name", g.AddValue(name));
-    (void)g.AddTriple(e, "located_in", place);
+    g.AddTriple(e, "name", g.AddValue(name)).IgnoreError();
+    g.AddTriple(e, "located_in", place).IgnoreError();
     return e;
   };
 
@@ -104,10 +104,10 @@ SyntheticDataset GenerateGoogleSim(const GoogleSimConfig& config) {
   auto add_person = [&](const std::string& name, NodeId employer,
                         NodeId university, NodeId major) {
     NodeId e = g.AddEntity("person");
-    (void)g.AddTriple(e, "name", g.AddValue(name));
-    (void)g.AddTriple(e, "works_at", employer);
-    (void)g.AddTriple(e, "studied_at", university);
-    (void)g.AddTriple(e, "majored_in", major);
+    g.AddTriple(e, "name", g.AddValue(name)).IgnoreError();
+    g.AddTriple(e, "works_at", employer).IgnoreError();
+    g.AddTriple(e, "studied_at", university).IgnoreError();
+    g.AddTriple(e, "majored_in", major).IgnoreError();
     return e;
   };
 
@@ -229,7 +229,7 @@ SyntheticDataset GenerateDBpediaSim(const DBpediaSimConfig& config) {
   };
   auto named = [&](const char* type, const std::string& name) {
     NodeId e = g.AddEntity(type);
-    (void)g.AddTriple(e, "name_of", g.AddValue(name));
+    g.AddTriple(e, "name_of", g.AddValue(name)).IgnoreError();
     return e;
   };
 
@@ -237,37 +237,37 @@ SyntheticDataset GenerateDBpediaSim(const DBpediaSimConfig& config) {
   std::vector<NodeId> artists, albums, companies, locations;
   for (int i = 0; i < scaled(config.num_locations); ++i) {
     NodeId l = named("location", uniq("loc"));
-    (void)g.AddTriple(l, "country_of", g.AddValue(uniq("cc")));
+    g.AddTriple(l, "country_of", g.AddValue(uniq("cc"))).IgnoreError();
     locations.push_back(l);
   }
   for (int i = 0; i < scaled(config.num_artists); ++i) {
     NodeId a = named("artist", uniq("artist"));
-    (void)g.AddTriple(a, "birth_date", g.AddValue(uniq("bd")));
-    (void)g.AddTriple(a, "birth_place", locations[rng.Below(locations.size())]);
+    g.AddTriple(a, "birth_date", g.AddValue(uniq("bd"))).IgnoreError();
+    g.AddTriple(a, "birth_place", locations[rng.Below(locations.size())]).IgnoreError();
     artists.push_back(a);
   }
   for (int i = 0; i < scaled(config.num_albums); ++i) {
     NodeId al = named("album", uniq("album"));
-    (void)g.AddTriple(al, "release_year", g.AddValue(uniq("year")));
-    (void)g.AddTriple(al, "recorded_by", artists[rng.Below(artists.size())]);
+    g.AddTriple(al, "release_year", g.AddValue(uniq("year"))).IgnoreError();
+    g.AddTriple(al, "recorded_by", artists[rng.Below(artists.size())]).IgnoreError();
     albums.push_back(al);
   }
   for (int i = 0; i < scaled(config.num_companies); ++i) {
     NodeId co = named("company", uniq("corp"));
     NodeId ceo = named("person", uniq("ceo"));
-    (void)g.AddTriple(co, "CEO", ceo);
+    g.AddTriple(co, "CEO", ceo).IgnoreError();
     companies.push_back(co);
   }
   for (int i = 0; i < scaled(config.num_books); ++i) {
     NodeId b = named("book", uniq("book"));
-    (void)g.AddTriple(b, "cover_artist", artists[rng.Below(artists.size())]);
-    (void)g.AddTriple(b, "publisher", companies[rng.Below(companies.size())]);
+    g.AddTriple(b, "cover_artist", artists[rng.Below(artists.size())]).IgnoreError();
+    g.AddTriple(b, "publisher", companies[rng.Below(companies.size())]).IgnoreError();
   }
   for (int i = 0; i < scaled(config.num_streets); ++i) {
     NodeId s = g.AddEntity("street");
-    (void)g.AddTriple(s, "zip_code", g.AddValue(uniq("zip")));
-    (void)g.AddTriple(s, "nation_of",
-                      g.AddValue(i % 3 == 0 ? "UK" : "US"));
+    g.AddTriple(s, "zip_code", g.AddValue(uniq("zip"))).IgnoreError();
+    g.AddTriple(s, "nation_of",
+                      g.AddValue(i % 3 == 0 ? "UK" : "US")).IgnoreError();
   }
 
   int dup = std::max(1, static_cast<int>(config.duplicate_pairs *
@@ -282,16 +282,16 @@ SyntheticDataset GenerateDBpediaSim(const DBpediaSimConfig& config) {
     NodeId r2 = named("artist", "dup_artist_" + tag);
     NodeId a1 = named("album", "dup_albumA_" + tag);
     NodeId a2 = named("album", "dup_albumA_" + tag);
-    (void)g.AddTriple(a1, "release_year", g.AddValue("y" + tag));
-    (void)g.AddTriple(a2, "release_year", g.AddValue("y" + tag));
-    (void)g.AddTriple(a1, "recorded_by", r1);
-    (void)g.AddTriple(a2, "recorded_by", r2);
+    g.AddTriple(a1, "release_year", g.AddValue("y" + tag)).IgnoreError();
+    g.AddTriple(a2, "release_year", g.AddValue("y" + tag)).IgnoreError();
+    g.AddTriple(a1, "recorded_by", r1).IgnoreError();
+    g.AddTriple(a2, "recorded_by", r2).IgnoreError();
     NodeId b1 = named("album", "dup_albumB_" + tag);
     NodeId b2 = named("album", "dup_albumB_" + tag);
-    (void)g.AddTriple(b1, "release_year", g.AddValue(uniq("year")));
-    (void)g.AddTriple(b2, "release_year", g.AddValue(uniq("year")));
-    (void)g.AddTriple(b1, "recorded_by", r1);
-    (void)g.AddTriple(b2, "recorded_by", r2);
+    g.AddTriple(b1, "release_year", g.AddValue(uniq("year"))).IgnoreError();
+    g.AddTriple(b2, "release_year", g.AddValue(uniq("year"))).IgnoreError();
+    g.AddTriple(b1, "recorded_by", r1).IgnoreError();
+    g.AddTriple(b2, "recorded_by", r2).IgnoreError();
     AddPlanted(ds, a1, a2);
     AddPlanted(ds, r1, r2);
     AddPlanted(ds, b1, b2);
@@ -303,17 +303,17 @@ SyntheticDataset GenerateDBpediaSim(const DBpediaSimConfig& config) {
     NodeId m1 = named("company", "dup_corp_" + tag);
     NodeId m2 = named("company", "dup_corp_" + tag);
     NodeId sib = named("company", uniq("corp"));       // shared sibling
-    (void)g.AddTriple(gp, "parent_of", m1);
-    (void)g.AddTriple(gp, "parent_of", m2);
-    (void)g.AddTriple(gp, "parent_of", sib);
+    g.AddTriple(gp, "parent_of", m1).IgnoreError();
+    g.AddTriple(gp, "parent_of", m2).IgnoreError();
+    g.AddTriple(gp, "parent_of", sib).IgnoreError();
     AddPlanted(ds, m1, m2);
     NodeId oth = named("company", uniq("corp"));       // the other parent
     NodeId x4 = named("company", "dup_corp_" + tag);   // merged child
     NodeId x5 = named("company", "dup_corp_" + tag);   // merged child
-    (void)g.AddTriple(m1, "parent_of", x4);
-    (void)g.AddTriple(m2, "parent_of", x5);
-    (void)g.AddTriple(oth, "parent_of", x4);
-    (void)g.AddTriple(oth, "parent_of", x5);
+    g.AddTriple(m1, "parent_of", x4).IgnoreError();
+    g.AddTriple(m2, "parent_of", x5).IgnoreError();
+    g.AddTriple(oth, "parent_of", x4).IgnoreError();
+    g.AddTriple(oth, "parent_of", x5).IgnoreError();
     AddPlanted(ds, x4, x5);
 
     // ---- Company chain through F7_CompanyByCeoParent: subsidiary pair
@@ -322,53 +322,53 @@ SyntheticDataset GenerateDBpediaSim(const DBpediaSimConfig& config) {
     NodeId sub2 = named("company", "dup_sub_" + tag);
     NodeId ceo1 = named("person", "dup_ceo_" + tag);
     NodeId ceo2 = named("person", "dup_ceo_" + tag);
-    (void)g.AddTriple(sub1, "CEO", ceo1);
-    (void)g.AddTriple(sub2, "CEO", ceo2);
-    (void)g.AddTriple(sub1, "parent_company", m1);
-    (void)g.AddTriple(sub2, "parent_company", m2);
+    g.AddTriple(sub1, "CEO", ceo1).IgnoreError();
+    g.AddTriple(sub2, "CEO", ceo2).IgnoreError();
+    g.AddTriple(sub1, "parent_company", m1).IgnoreError();
+    g.AddTriple(sub2, "parent_company", m2).IgnoreError();
     AddPlanted(ds, sub1, sub2);
 
     // ---- Book cluster (Fig. 7): location pair -> artist pair (by birth)
     // -> book pair (by cover artist + publisher wildcard): c = 3.
     NodeId l1 = named("location", "dup_loc_" + tag);
     NodeId l2 = named("location", "dup_loc_" + tag);
-    (void)g.AddTriple(l1, "country_of", g.AddValue("cc" + tag));
-    (void)g.AddTriple(l2, "country_of", g.AddValue("cc" + tag));
+    g.AddTriple(l1, "country_of", g.AddValue("cc" + tag)).IgnoreError();
+    g.AddTriple(l2, "country_of", g.AddValue("cc" + tag)).IgnoreError();
     AddPlanted(ds, l1, l2);
     NodeId p1 = named("artist", "dup_painter_" + tag);
     NodeId p2 = named("artist", "dup_painter_" + tag);
-    (void)g.AddTriple(p1, "birth_date", g.AddValue("bdate" + tag));
-    (void)g.AddTriple(p2, "birth_date", g.AddValue("bdate" + tag));
-    (void)g.AddTriple(p1, "birth_place", l1);
-    (void)g.AddTriple(p2, "birth_place", l2);
+    g.AddTriple(p1, "birth_date", g.AddValue("bdate" + tag)).IgnoreError();
+    g.AddTriple(p2, "birth_date", g.AddValue("bdate" + tag)).IgnoreError();
+    g.AddTriple(p1, "birth_place", l1).IgnoreError();
+    g.AddTriple(p2, "birth_place", l2).IgnoreError();
     AddPlanted(ds, p1, p2);
     NodeId k1 = named("book", "dup_book_" + tag);
     NodeId k2 = named("book", "dup_book_" + tag);
     NodeId pub1 = named("company", uniq("corp"));
     NodeId pub2 = named("company", uniq("corp"));
-    (void)g.AddTriple(k1, "cover_artist", p1);
-    (void)g.AddTriple(k2, "cover_artist", p2);
-    (void)g.AddTriple(k1, "publisher", pub1);
-    (void)g.AddTriple(k2, "publisher", pub2);
-    (void)g.AddTriple(pub1, "employer_of", p1);
-    (void)g.AddTriple(pub2, "employer_of", p2);
+    g.AddTriple(k1, "cover_artist", p1).IgnoreError();
+    g.AddTriple(k2, "cover_artist", p2).IgnoreError();
+    g.AddTriple(k1, "publisher", pub1).IgnoreError();
+    g.AddTriple(k2, "publisher", pub2).IgnoreError();
+    g.AddTriple(pub1, "employer_of", p1).IgnoreError();
+    g.AddTriple(pub2, "employer_of", p2).IgnoreError();
     AddPlanted(ds, k1, k2);
 
     // ---- Address cluster (Q6): two UK streets sharing a zip code are
     // the same street; the same zip in the US must NOT identify.
     NodeId s1 = g.AddEntity("street");
     NodeId s2 = g.AddEntity("street");
-    (void)g.AddTriple(s1, "zip_code", g.AddValue("dupzip_" + tag));
-    (void)g.AddTriple(s2, "zip_code", g.AddValue("dupzip_" + tag));
-    (void)g.AddTriple(s1, "nation_of", g.AddValue("UK"));
-    (void)g.AddTriple(s2, "nation_of", g.AddValue("UK"));
+    g.AddTriple(s1, "zip_code", g.AddValue("dupzip_" + tag)).IgnoreError();
+    g.AddTriple(s2, "zip_code", g.AddValue("dupzip_" + tag)).IgnoreError();
+    g.AddTriple(s1, "nation_of", g.AddValue("UK")).IgnoreError();
+    g.AddTriple(s2, "nation_of", g.AddValue("UK")).IgnoreError();
     AddPlanted(ds, s1, s2);
     NodeId us1 = g.AddEntity("street");
     NodeId us2 = g.AddEntity("street");
-    (void)g.AddTriple(us1, "zip_code", g.AddValue("uszip_" + tag));
-    (void)g.AddTriple(us2, "zip_code", g.AddValue("uszip_" + tag));
-    (void)g.AddTriple(us1, "nation_of", g.AddValue("US"));
-    (void)g.AddTriple(us2, "nation_of", g.AddValue("US"));
+    g.AddTriple(us1, "zip_code", g.AddValue("uszip_" + tag)).IgnoreError();
+    g.AddTriple(us2, "zip_code", g.AddValue("uszip_" + tag)).IgnoreError();
+    g.AddTriple(us1, "nation_of", g.AddValue("US")).IgnoreError();
+    g.AddTriple(us2, "nation_of", g.AddValue("US")).IgnoreError();
   }
 
   g.Finalize();

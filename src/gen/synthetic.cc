@@ -81,11 +81,11 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
     NodeId prev = e;
     for (int hop = 0; hop < d - 1; ++hop) {
       NodeId aux = g.AddEntity("AUX_" + std::to_string(hop + 1));
-      (void)g.AddTriple(prev, pred_base + std::to_string(hop), aux);
+      g.AddTriple(prev, pred_base + std::to_string(hop), aux).IgnoreError();
       prev = aux;
     }
-    (void)g.AddTriple(prev, pred_base + std::to_string(d - 1),
-                      g.AddValue(value));
+    g.AddTriple(prev, pred_base + std::to_string(d - 1),
+                      g.AddValue(value)).IgnoreError();
   };
 
   // Builds one entity of T_<group>_<level> with its key structure.
@@ -133,12 +133,12 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
           bool chained = rng.Chance(config.chained_fraction);
           if (chained) {
             // Resolves only after the next level's pair resolves.
-            (void)g.AddTriple(cluster[lv][j].first, ref_pred, na);
-            (void)g.AddTriple(cluster[lv][j].second, ref_pred, nb);
+            g.AddTriple(cluster[lv][j].first, ref_pred, na).IgnoreError();
+            g.AddTriple(cluster[lv][j].second, ref_pred, nb).IgnoreError();
           } else {
             // Shared target: resolves immediately via node identity.
-            (void)g.AddTriple(cluster[lv][j].first, ref_pred, na);
-            (void)g.AddTriple(cluster[lv][j].second, ref_pred, na);
+            g.AddTriple(cluster[lv][j].first, ref_pred, na).IgnoreError();
+            g.AddTriple(cluster[lv][j].second, ref_pred, na).IgnoreError();
           }
         }
       }
@@ -148,7 +148,7 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
         level_entities[lv].push_back(e);
         if (lv < c - 1) {
           const auto& below = level_entities[lv + 1];
-          (void)g.AddTriple(e, ref_pred, below[rng.Below(below.size())]);
+          g.AddTriple(e, ref_pred, below[rng.Below(below.size())]).IgnoreError();
         }
       }
     }
@@ -162,7 +162,7 @@ SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
             std::string pred = "noise_" + std::to_string(rng.Below(npreds));
             NodeId v = g.AddValue("nv_" + std::to_string(rng.Below(
                                               static_cast<uint64_t>(n) * c)));
-            (void)g.AddTriple(e, pred, v);
+            g.AddTriple(e, pred, v).IgnoreError();
           }
         }
       }

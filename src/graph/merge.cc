@@ -30,9 +30,9 @@ FusionResult FuseEntities(
     out.node_map[n] = out.node_map[root];
   }
   g.ForEachTriple([&](const Triple& t) {
-    (void)out.graph.AddTriple(out.node_map[t.subject],
+    out.graph.AddTriple(out.node_map[t.subject],
                               g.interner().Resolve(t.pred),
-                              out.node_map[t.object]);
+                              out.node_map[t.object]).IgnoreError();
   });
   out.graph.Finalize();  // deduplicates the parallel fused triples
   return out;

@@ -72,9 +72,9 @@ NormalizedGraph NormalizeValues(const Graph& g, const ValueNormalizer& fn) {
   }
   (void)distinct_values;
   g.ForEachTriple([&](const Triple& t) {
-    (void)out.graph.AddTriple(out.node_map[t.subject],
+    out.graph.AddTriple(out.node_map[t.subject],
                               g.interner().Resolve(t.pred),
-                              out.node_map[t.object]);
+                              out.node_map[t.object]).IgnoreError();
   });
   out.graph.Finalize();
   return out;

@@ -149,7 +149,7 @@ class PairingEngine {
 
   /// Whether pair (i, j) of node v still has a witness along triple t in
   /// the given role: some reachable pair of the other endpoint survives.
-  bool HasSupport(int v, uint32_t i, uint32_t j, int t,
+  bool HasSupport(int /*v*/, uint32_t i, uint32_t j, int t,
                   bool as_subject) const {
     const TripleState& ts = st_.triples[t];
     const CompiledTriple& ct = cp_.triples[t];

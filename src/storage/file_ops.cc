@@ -71,6 +71,12 @@ StatusOr<int> OpenForWrite(const std::string& path, bool truncate,
   return fd;
 }
 
+StatusOr<int> OpenForRead(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("cannot open", path, errno);
+  return fd;
+}
+
 namespace {
 
 /// The raw full-write loop: retries EINTR and short writes until every

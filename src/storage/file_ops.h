@@ -110,6 +110,11 @@ class ScopedFaultInjector {
 /// Opens `path` for writing (O_CREAT; O_TRUNC or O_APPEND per flags).
 StatusOr<int> OpenForWrite(const std::string& path, bool truncate,
                            bool append);
+/// Opens `path` read-only. Not faultable: reads are not durability
+/// points, so routing them here keeps the crash-point op counts of a
+/// write schedule stable while still funneling every file descriptor
+/// through this seam (the repo linter bans raw ::open elsewhere).
+StatusOr<int> OpenForRead(const std::string& path);
 /// Writes all of `data`, looping over EINTR and short writes. IoError
 /// (with the op's errno) when the kernel rejects bytes.
 Status WriteFull(int fd, std::string_view data, const std::string& path);

@@ -118,23 +118,22 @@ Status MmapStore::Flush() {
 }
 
 Status MmapStore::MapFile() {
-  int fd = ::open(path_.c_str(), O_RDONLY);
-  if (fd < 0)
-    return Status::IoError("cannot open snapshot file " + path_ + ": " +
-                           std::strerror(errno));
+  auto fd_or = fileops::OpenForRead(path_);
+  if (!fd_or.ok()) return fd_or.status();
+  int fd = *fd_or;
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+    fileops::Close(fd);
     return Status::IoError("cannot stat " + path_);
   }
   size_t size = static_cast<size_t>(st.st_size);
   if (size < kHeaderBytes) {
-    ::close(fd);
+    fileops::Close(fd);
     return Corrupt(path_, "truncated header (" + std::to_string(size) +
                               " bytes)");
   }
   void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
+  fileops::Close(fd);
   if (map == MAP_FAILED)
     return Status::IoError("cannot mmap " + path_ + ": " +
                            std::strerror(errno));

@@ -3,14 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace gkeys {
 namespace vertexcentric {
@@ -90,9 +91,9 @@ class Engine {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::pair<uint32_t, Message>> queue;
+    Mutex mu;
+    CondVar cv;
+    std::deque<std::pair<uint32_t, Message>> queue GKEYS_GUARDED_BY(mu);
   };
 
   void Post(uint32_t vertex, Message msg) {
@@ -100,10 +101,10 @@ class Engine {
     sent_.fetch_add(1, std::memory_order_relaxed);
     Shard& s = shards_[vertex % shards_.size()];
     {
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       s.queue.emplace_back(vertex, std::move(msg));
     }
-    s.cv.notify_one();
+    s.cv.NotifyOne();
   }
 
   void WorkerLoop(int w) {
@@ -112,12 +113,12 @@ class Engine {
     for (;;) {
       std::pair<uint32_t, Message> item;
       {
-        std::unique_lock<std::mutex> lock(s.mu);
+        MutexLock lock(s.mu);
         // Wake periodically to observe global quiescence: this worker's
         // queue may stay empty while others still create work for it.
         while (s.queue.empty()) {
           if (in_flight_.load(std::memory_order_acquire) == 0) return;
-          s.cv.wait_for(lock, std::chrono::milliseconds(1));
+          s.cv.WaitFor(lock, std::chrono::milliseconds(1));
         }
         item = std::move(s.queue.front());
         s.queue.pop_front();
@@ -127,7 +128,7 @@ class Engine {
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Possibly the last message system-wide: wake everyone so they can
         // re-check the termination condition.
-        for (Shard& other : shards_) other.cv.notify_all();
+        for (Shard& other : shards_) other.cv.NotifyAll();
       }
     }
   }

@@ -92,8 +92,8 @@ TEST(Chase, TransitiveClosureInOutput) {
   NodeId n = g.AddValue("N");
   NodeId y = g.AddValue("Y");
   for (NodeId e : {a, b, c}) {
-    (void)g.AddTriple(e, "name_of", n);
-    (void)g.AddTriple(e, "release_year", y);
+    g.AddTriple(e, "name_of", n).IgnoreError();
+    g.AddTriple(e, "release_year", y).IgnoreError();
   }
   g.Finalize();
   KeySet keys;
@@ -114,17 +114,17 @@ TEST(Chase, TransitiveClosureAcrossKeys) {
   NodeId b = g.AddEntity("album");
   NodeId c = g.AddEntity("album");
   NodeId n = g.AddValue("N");
-  (void)g.AddTriple(a, "name_of", n);
-  (void)g.AddTriple(b, "name_of", n);
-  (void)g.AddTriple(c, "name_of", n);
+  g.AddTriple(a, "name_of", n).IgnoreError();
+  g.AddTriple(b, "name_of", n).IgnoreError();
+  g.AddTriple(c, "name_of", n).IgnoreError();
   NodeId y = g.AddValue("Y");
-  (void)g.AddTriple(a, "release_year", y);
-  (void)g.AddTriple(b, "release_year", y);
-  (void)g.AddTriple(c, "release_year", g.AddValue("Z"));
+  g.AddTriple(a, "release_year", y).IgnoreError();
+  g.AddTriple(b, "release_year", y).IgnoreError();
+  g.AddTriple(c, "release_year", g.AddValue("Z")).IgnoreError();
   NodeId l = g.AddValue("L");
-  (void)g.AddTriple(b, "label", l);
-  (void)g.AddTriple(c, "label", l);
-  (void)g.AddTriple(a, "label", g.AddValue("M"));
+  g.AddTriple(b, "label", l).IgnoreError();
+  g.AddTriple(c, "label", l).IgnoreError();
+  g.AddTriple(a, "label", g.AddValue("M")).IgnoreError();
   g.Finalize();
   KeySet keys;
   ASSERT_TRUE(keys.AddFromDsl(R"(

@@ -28,10 +28,10 @@ Graph LibraryGraph() {
   };
   for (const Row& r : rows) {
     NodeId b = g.AddEntity("book");
-    (void)g.AddTriple(b, "isbn", g.AddValue(r.isbn));
-    (void)g.AddTriple(b, "title", g.AddValue(r.title));
-    (void)g.AddTriple(b, "year", g.AddValue(r.year));
-    (void)g.AddTriple(b, "shelf", g.AddValue(r.shelf));
+    g.AddTriple(b, "isbn", g.AddValue(r.isbn)).IgnoreError();
+    g.AddTriple(b, "title", g.AddValue(r.title)).IgnoreError();
+    g.AddTriple(b, "year", g.AddValue(r.year)).IgnoreError();
+    g.AddTriple(b, "shelf", g.AddValue(r.shelf)).IgnoreError();
   }
   g.Finalize();
   return g;
@@ -84,10 +84,10 @@ TEST(Discovery, RecursiveCandidates) {
   NodeId e1 = g.AddEntity("employee");
   NodeId e2 = g.AddEntity("employee");
   NodeId n = g.AddValue("Ann");
-  (void)g.AddTriple(e1, "name", n);
-  (void)g.AddTriple(e2, "name", n);
-  (void)g.AddTriple(e1, "works_at", f1);
-  (void)g.AddTriple(e2, "works_at", f2);
+  g.AddTriple(e1, "name", n).IgnoreError();
+  g.AddTriple(e2, "name", n).IgnoreError();
+  g.AddTriple(e1, "works_at", f1).IgnoreError();
+  g.AddTriple(e2, "works_at", f2).IgnoreError();
   g.Finalize();
   auto keys = DiscoverKeys(g, "employee");
   EXPECT_FALSE(HasKeyNamed(keys, "disc_employee_name"));
@@ -106,10 +106,10 @@ TEST(Discovery, RecursiveCanBeDisabled) {
   NodeId f1 = g.AddEntity("firm");
   NodeId e1 = g.AddEntity("employee");
   NodeId e2 = g.AddEntity("employee");
-  (void)g.AddTriple(e1, "name", g.AddValue("Ann"));
-  (void)g.AddTriple(e2, "name", g.AddValue("Ann"));
-  (void)g.AddTriple(e1, "works_at", f1);
-  (void)g.AddTriple(e2, "works_at", f1);
+  g.AddTriple(e1, "name", g.AddValue("Ann")).IgnoreError();
+  g.AddTriple(e2, "name", g.AddValue("Ann")).IgnoreError();
+  g.AddTriple(e1, "works_at", f1).IgnoreError();
+  g.AddTriple(e2, "works_at", f1).IgnoreError();
   g.Finalize();
   DiscoveryConfig cfg;
   cfg.include_recursive = false;
@@ -123,8 +123,8 @@ TEST(Discovery, CoverageThresholdFilters) {
   // Only 1 of 4 entities carries `rare`.
   for (int i = 0; i < 4; ++i) {
     NodeId e = g.AddEntity("t");
-    (void)g.AddTriple(e, "common", g.AddValue("c" + std::to_string(i)));
-    if (i == 0) (void)g.AddTriple(e, "rare", g.AddValue("r"));
+    g.AddTriple(e, "common", g.AddValue("c" + std::to_string(i))).IgnoreError();
+    if (i == 0) g.AddTriple(e, "rare", g.AddValue("r")).IgnoreError();
   }
   g.Finalize();
   DiscoveryConfig cfg;
@@ -142,7 +142,7 @@ TEST(Discovery, UnknownTypeYieldsNothing) {
 TEST(Discovery, SingleEntityTypeYieldsNothing) {
   Graph g;
   NodeId e = g.AddEntity("lone");
-  (void)g.AddTriple(e, "p", g.AddValue("v"));
+  g.AddTriple(e, "p", g.AddValue("v")).IgnoreError();
   g.Finalize();
   EXPECT_TRUE(DiscoverKeys(g, "lone").empty());
 }
@@ -170,9 +170,9 @@ TEST(Discovery, MinedKeysDetectFreshDuplicates) {
 
   Graph dirty = g;
   NodeId dup = dirty.AddEntity("book");
-  (void)dirty.AddTriple(dup, "isbn", dirty.AddValue("i1"));  // reuse i1!
-  (void)dirty.AddTriple(dup, "title", dirty.AddValue("Dune"));
-  (void)dirty.AddTriple(dup, "year", dirty.AddValue("1965"));
+  dirty.AddTriple(dup, "isbn", dirty.AddValue("i1")).IgnoreError();  // reuse i1!
+  dirty.AddTriple(dup, "title", dirty.AddValue("Dune")).IgnoreError();
+  dirty.AddTriple(dup, "year", dirty.AddValue("1965")).IgnoreError();
   dirty.Finalize();
   MatchResult r = Chase(dirty, keys);
   ASSERT_EQ(r.pairs.size(), 1u);

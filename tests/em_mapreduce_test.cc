@@ -35,10 +35,10 @@ TEST(EmMapReduce, DependencyDeferralStillComplete) {
   NodeId a1 = g.AddEntity("artist");
   NodeId a2 = g.AddEntity("artist");
   NodeId alb = g.AddEntity("album");
-  (void)g.AddTriple(a1, "name_of", g.AddValue("N"));
-  (void)g.AddTriple(a2, "name_of", g.AddValue("N"));
-  (void)g.AddTriple(alb, "recorded_by", a1);
-  (void)g.AddTriple(alb, "recorded_by", a2);
+  g.AddTriple(a1, "name_of", g.AddValue("N")).IgnoreError();
+  g.AddTriple(a2, "name_of", g.AddValue("N")).IgnoreError();
+  g.AddTriple(alb, "recorded_by", a1).IgnoreError();
+  g.AddTriple(alb, "recorded_by", a2).IgnoreError();
   g.Finalize();
   KeySet keys;
   // ONLY a recursive key; L0 is empty.
@@ -125,20 +125,20 @@ TEST(EmMapReduce, GhostPairsWakeDependents) {
   NodeId b = g.AddEntity("album");
   NodeId c = g.AddEntity("album");
   NodeId n = g.AddValue("N");
-  for (NodeId e : {a, b, c}) (void)g.AddTriple(e, "name_of", n);
+  for (NodeId e : {a, b, c}) g.AddTriple(e, "name_of", n).IgnoreError();
   NodeId y1 = g.AddValue("Y");
-  (void)g.AddTriple(a, "release_year", y1);
-  (void)g.AddTriple(b, "release_year", y1);
+  g.AddTriple(a, "release_year", y1).IgnoreError();
+  g.AddTriple(b, "release_year", y1).IgnoreError();
   NodeId l = g.AddValue("L");
-  (void)g.AddTriple(b, "label", l);
-  (void)g.AddTriple(c, "label", l);
+  g.AddTriple(b, "label", l).IgnoreError();
+  g.AddTriple(c, "label", l).IgnoreError();
   NodeId r1 = g.AddEntity("artist");
   NodeId r2 = g.AddEntity("artist");
   NodeId an = g.AddValue("AN");
-  (void)g.AddTriple(r1, "name_of", an);
-  (void)g.AddTriple(r2, "name_of", an);
-  (void)g.AddTriple(a, "recorded_by", r1);
-  (void)g.AddTriple(c, "recorded_by", r2);
+  g.AddTriple(r1, "name_of", an).IgnoreError();
+  g.AddTriple(r2, "name_of", an).IgnoreError();
+  g.AddTriple(a, "recorded_by", r1).IgnoreError();
+  g.AddTriple(c, "recorded_by", r2).IgnoreError();
   g.Finalize();
   KeySet keys;
   ASSERT_TRUE(keys.AddFromDsl(R"(

@@ -46,7 +46,9 @@ TEST(EndianTest, BigEndianKeysSortNumerically) {
   for (uint64_t v : values) {
     std::string cur;
     PutBe64(cur, v);
-    if (!prev.empty()) EXPECT_LT(prev, cur) << "at value " << v;
+    if (!prev.empty()) {
+      EXPECT_LT(prev, cur) << "at value " << v;
+    }
     prev = cur;
   }
 }

@@ -65,10 +65,10 @@ TEST(EntityMatcher, DiamondPattern) {
     NodeId x = g.AddEntity("doc");
     NodeId l = g.AddEntity("sec");
     NodeId r = g.AddEntity("sec");
-    (void)g.AddTriple(x, "first", l);
-    (void)g.AddTriple(x, "second", r);
-    (void)g.AddTriple(l, "hash", g.AddValue(v_left));
-    (void)g.AddTriple(r, "hash", g.AddValue(v_right));
+    g.AddTriple(x, "first", l).IgnoreError();
+    g.AddTriple(x, "second", r).IgnoreError();
+    g.AddTriple(l, "hash", g.AddValue(v_left)).IgnoreError();
+    g.AddTriple(r, "hash", g.AddValue(v_right)).IgnoreError();
     return x;
   };
   NodeId d1 = make("H1", "H2");
@@ -98,9 +98,9 @@ TEST(EntityMatcher, ParallelPatternEdges) {
   auto make = [&](bool both) {
     NodeId x = g.AddEntity("user");
     NodeId y = g.AddEntity("account");
-    (void)g.AddTriple(x, "owns", y);
-    if (both) (void)g.AddTriple(x, "manages", y);
-    (void)g.AddTriple(x, "name", g.AddValue("sam"));
+    g.AddTriple(x, "owns", y).IgnoreError();
+    if (both) g.AddTriple(x, "manages", y).IgnoreError();
+    g.AddTriple(x, "name", g.AddValue("sam")).IgnoreError();
     return x;
   };
   NodeId u1 = make(true);
@@ -133,9 +133,9 @@ TEST(EntityMatcher, MultipleKeysSamePair) {
   NodeId y = g.AddValue("Y");
   NodeId l = g.AddValue("L");
   for (NodeId e : {a, b}) {
-    (void)g.AddTriple(e, "name_of", n);
-    (void)g.AddTriple(e, "release_year", y);
-    (void)g.AddTriple(e, "label", l);
+    g.AddTriple(e, "name_of", n).IgnoreError();
+    g.AddTriple(e, "release_year", y).IgnoreError();
+    g.AddTriple(e, "label", l).IgnoreError();
   }
   g.Finalize();
   KeySet keys;

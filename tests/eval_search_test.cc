@@ -63,10 +63,10 @@ TEST(EvalSearch, RecursiveKeyFiresThroughSharedEntity) {
   NodeId a2 = g.AddEntity("artist");
   NodeId alb = g.AddEntity("album");
   NodeId name = g.AddValue("N");
-  (void)g.AddTriple(a1, "name_of", name);
-  (void)g.AddTriple(a2, "name_of", name);
-  (void)g.AddTriple(alb, "recorded_by", a1);
-  (void)g.AddTriple(alb, "recorded_by", a2);
+  g.AddTriple(a1, "name_of", name).IgnoreError();
+  g.AddTriple(a2, "name_of", name).IgnoreError();
+  g.AddTriple(alb, "recorded_by", a1).IgnoreError();
+  g.AddTriple(alb, "recorded_by", a2).IgnoreError();
   g.Finalize();
   CompiledPattern q3 = CompileDsl(g, R"(
     key Q3 for artist {
@@ -117,12 +117,12 @@ TEST(EvalSearch, ConstantCondition) {
   NodeId s2 = g.AddEntity("street");
   NodeId s3 = g.AddEntity("street");
   NodeId zip = g.AddValue("EH8 9AB");
-  (void)g.AddTriple(s1, "zip_code", zip);
-  (void)g.AddTriple(s2, "zip_code", zip);
-  (void)g.AddTriple(s3, "zip_code", zip);
-  (void)g.AddTriple(s1, "nation_of", g.AddValue("UK"));
-  (void)g.AddTriple(s2, "nation_of", g.AddValue("UK"));
-  (void)g.AddTriple(s3, "nation_of", g.AddValue("US"));
+  g.AddTriple(s1, "zip_code", zip).IgnoreError();
+  g.AddTriple(s2, "zip_code", zip).IgnoreError();
+  g.AddTriple(s3, "zip_code", zip).IgnoreError();
+  g.AddTriple(s1, "nation_of", g.AddValue("UK")).IgnoreError();
+  g.AddTriple(s2, "nation_of", g.AddValue("UK")).IgnoreError();
+  g.AddTriple(s3, "nation_of", g.AddValue("US")).IgnoreError();
   g.Finalize();
   CompiledPattern q6 = CompileDsl(g, R"(
     key Q6 for street {
@@ -193,7 +193,7 @@ TEST(EvalSearch, MatchesAtSingleSide) {
   // An album with no recorded_by edge does not match.
   Graph g2 = m.g;  // copy
   NodeId lonely = g2.AddEntity("album");
-  (void)g2.AddTriple(lonely, "name_of", g2.AddValue("Solo"));
+  g2.AddTriple(lonely, "name_of", g2.AddValue("Solo")).IgnoreError();
   g2.Finalize();
   CompiledPattern q1b = CompileDsl(g2, R"(
     key Q1 for album {
@@ -209,11 +209,11 @@ TEST(EvalSearch, SelfLoopPattern) {
   NodeId p2 = g.AddEntity("page");
   NodeId p3 = g.AddEntity("page");
   NodeId u = g.AddValue("u");
-  (void)g.AddTriple(p1, "links_to", p1);
-  (void)g.AddTriple(p2, "links_to", p2);
-  (void)g.AddTriple(p1, "url", u);
-  (void)g.AddTriple(p2, "url", u);
-  (void)g.AddTriple(p3, "url", u);  // no self loop
+  g.AddTriple(p1, "links_to", p1).IgnoreError();
+  g.AddTriple(p2, "links_to", p2).IgnoreError();
+  g.AddTriple(p1, "url", u).IgnoreError();
+  g.AddTriple(p2, "url", u).IgnoreError();
+  g.AddTriple(p3, "url", u).IgnoreError();  // no self loop
   g.Finalize();
   CompiledPattern k = CompileDsl(g, R"(
     key K for page {

@@ -87,7 +87,7 @@ Graph RandomGraph(Rng& rng, size_t entities, size_t values, size_t triples) {
     NodeId o = rng.Below(4) == 0 && !vals.empty()
                    ? vals[rng.Below(vals.size())]
                    : static_cast<NodeId>(rng.Below(entities));
-    (void)g.AddTriple(s, "p" + std::to_string(rng.Below(5)), o);
+    g.AddTriple(s, "p" + std::to_string(rng.Below(5)), o).IgnoreError();
   }
   return g;
 }
@@ -231,8 +231,8 @@ TEST(CsrGraph, ForEachTripleCoversBothRepresentations) {
   Graph g;
   NodeId a = g.AddEntity("t");
   NodeId v = g.AddValue("x");
-  (void)g.AddTriple(a, "p", v);
-  (void)g.AddTriple(a, "p", v);  // duplicate, removed by Finalize
+  g.AddTriple(a, "p", v).IgnoreError();
+  g.AddTriple(a, "p", v).IgnoreError();  // duplicate, removed by Finalize
   size_t before = 0;
   g.ForEachTriple([&](const Triple&) { ++before; });
   EXPECT_EQ(before, 2u);

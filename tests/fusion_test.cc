@@ -25,8 +25,8 @@ TEST(Normalize, MergesEquivalentValues) {
   Graph g;
   NodeId a = g.AddEntity("artist");
   NodeId b = g.AddEntity("artist");
-  (void)g.AddTriple(a, "name_of", g.AddValue("The Beatles"));
-  (void)g.AddTriple(b, "name_of", g.AddValue("the  beatles"));
+  g.AddTriple(a, "name_of", g.AddValue("The Beatles")).IgnoreError();
+  g.AddTriple(b, "name_of", g.AddValue("the  beatles")).IgnoreError();
   g.Finalize();
   auto norm = NormalizeValues(
       g, ComposeNormalizers(
@@ -47,10 +47,10 @@ TEST(Normalize, EnablesSimilarityMatching) {
   Graph g;
   NodeId a1 = g.AddEntity("album");
   NodeId a2 = g.AddEntity("album");
-  (void)g.AddTriple(a1, "name_of", g.AddValue("Anthology 2"));
-  (void)g.AddTriple(a2, "name_of", g.AddValue("ANTHOLOGY 2"));
-  (void)g.AddTriple(a1, "release_year", g.AddValue("1996"));
-  (void)g.AddTriple(a2, "release_year", g.AddValue("1996"));
+  g.AddTriple(a1, "name_of", g.AddValue("Anthology 2")).IgnoreError();
+  g.AddTriple(a2, "name_of", g.AddValue("ANTHOLOGY 2")).IgnoreError();
+  g.AddTriple(a1, "release_year", g.AddValue("1996")).IgnoreError();
+  g.AddTriple(a2, "release_year", g.AddValue("1996")).IgnoreError();
   g.Finalize();
   KeySet keys;
   ASSERT_TRUE(keys.AddFromDsl(R"(

@@ -145,9 +145,9 @@ PathGraph MakePath() {
   p.b = p.g.AddEntity("t");
   p.c = p.g.AddEntity("t");
   p.d = p.g.AddEntity("t");
-  (void)p.g.AddTriple(p.a, "p", p.b);
-  (void)p.g.AddTriple(p.b, "p", p.c);
-  (void)p.g.AddTriple(p.c, "p", p.d);
+  p.g.AddTriple(p.a, "p", p.b).IgnoreError();
+  p.g.AddTriple(p.b, "p", p.c).IgnoreError();
+  p.g.AddTriple(p.c, "p", p.d).IgnoreError();
   p.g.Finalize();
   return p;
 }

@@ -14,7 +14,7 @@ namespace {
 TEST(TriplesIo, SerializeSmallGraph) {
   Graph g;
   NodeId a = g.AddEntity("artist");
-  (void)g.AddTriple(a, "name_of", g.AddValue("The Beatles"));
+  g.AddTriple(a, "name_of", g.AddValue("The Beatles")).IgnoreError();
   g.Finalize();
   std::string text = SerializeGraph(g);
   EXPECT_NE(text.find("ent:artist:0 name_of val:\"The Beatles\""),
@@ -49,7 +49,7 @@ TEST(TriplesIo, RoundTripSyntheticWorkload) {
 TEST(TriplesIo, EscapedLiterals) {
   Graph g;
   NodeId e = g.AddEntity("t");
-  (void)g.AddTriple(e, "p", g.AddValue("say \"hi\" \\ there"));
+  g.AddTriple(e, "p", g.AddValue("say \"hi\" \\ there")).IgnoreError();
   g.Finalize();
   auto loaded = DeserializeGraph(SerializeGraph(g));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -59,7 +59,7 @@ TEST(TriplesIo, EscapedLiterals) {
 TEST(TriplesIo, LiteralsWithSpaces) {
   Graph g;
   NodeId e = g.AddEntity("band");
-  (void)g.AddTriple(e, "name_of", g.AddValue("The Rolling Stones"));
+  g.AddTriple(e, "name_of", g.AddValue("The Rolling Stones")).IgnoreError();
   g.Finalize();
   auto loaded = DeserializeGraph(SerializeGraph(g));
   ASSERT_TRUE(loaded.ok());

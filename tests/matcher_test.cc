@@ -222,8 +222,8 @@ TEST(Matcher, UnfinalizedGraphIsAStatusNotAnAssert) {
   Graph g;
   NodeId a = g.AddEntity("t");
   NodeId b = g.AddEntity("t");
-  (void)g.AddTriple(a, "p", g.AddValue("v"));
-  (void)g.AddTriple(b, "p", g.AddValue("v"));
+  g.AddTriple(a, "p", g.AddValue("v")).IgnoreError();
+  g.AddTriple(b, "p", g.AddValue("v")).IgnoreError();
   // No Finalize().
   KeySet keys;
   ASSERT_TRUE(keys.AddFromDsl("key K for t { x -[p]-> v* }").ok());

@@ -119,14 +119,14 @@ TEST(Pairing, ReductionShrinksNoisyNeighborhoods) {
   NodeId a = g.AddEntity("t");
   NodeId b = g.AddEntity("t");
   NodeId shared = g.AddValue("V");
-  (void)g.AddTriple(a, "p", shared);
-  (void)g.AddTriple(b, "p", shared);
+  g.AddTriple(a, "p", shared).IgnoreError();
+  g.AddTriple(b, "p", shared).IgnoreError();
   std::vector<NodeId> noise;
   for (int i = 0; i < 20; ++i) {
     NodeId n = g.AddEntity("junk");
     noise.push_back(n);
-    (void)g.AddTriple(a, "q", n);
-    (void)g.AddTriple(b, "q", n);
+    g.AddTriple(a, "q", n).IgnoreError();
+    g.AddTriple(b, "q", n).IgnoreError();
   }
   g.Finalize();
   CompiledPattern k = CompileDsl(g, "key K for t {\n x -[p]-> v*\n}");

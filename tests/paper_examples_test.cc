@@ -50,10 +50,10 @@ TEST(PaperExamples, SatisfactionAfterDeduplication) {
   Graph g;
   NodeId art = g.AddEntity("artist");
   NodeId alb = g.AddEntity("album");
-  (void)g.AddTriple(art, "name_of", g.AddValue("The Beatles"));
-  (void)g.AddTriple(alb, "name_of", g.AddValue("Anthology 2"));
-  (void)g.AddTriple(alb, "release_year", g.AddValue("1996"));
-  (void)g.AddTriple(alb, "recorded_by", art);
+  g.AddTriple(art, "name_of", g.AddValue("The Beatles")).IgnoreError();
+  g.AddTriple(alb, "name_of", g.AddValue("Anthology 2")).IgnoreError();
+  g.AddTriple(alb, "release_year", g.AddValue("1996")).IgnoreError();
+  g.AddTriple(alb, "recorded_by", art).IgnoreError();
   g.Finalize();
   KeySet sigma1 = MakeSigma1();
   EXPECT_TRUE(Satisfies(g, sigma1));
@@ -97,12 +97,12 @@ TEST(PaperExamples, Q1FiresViaQ2DerivedArtists) {
   NodeId extra1 = g.AddEntity("album");
   NodeId extra2 = g.AddEntity("album");
   NodeId name = g.AddValue("Abbey Road");
-  (void)g.AddTriple(extra1, "name_of", name);
-  (void)g.AddTriple(extra2, "name_of", name);
-  (void)g.AddTriple(extra1, "release_year", g.AddValue("1969"));
-  (void)g.AddTriple(extra2, "release_year", g.AddValue("1970"));  // differ!
-  (void)g.AddTriple(extra1, "recorded_by", m.art1);
-  (void)g.AddTriple(extra2, "recorded_by", m.art2);
+  g.AddTriple(extra1, "name_of", name).IgnoreError();
+  g.AddTriple(extra2, "name_of", name).IgnoreError();
+  g.AddTriple(extra1, "release_year", g.AddValue("1969")).IgnoreError();
+  g.AddTriple(extra2, "release_year", g.AddValue("1970")).IgnoreError();  // differ!
+  g.AddTriple(extra1, "recorded_by", m.art1).IgnoreError();
+  g.AddTriple(extra2, "recorded_by", m.art2).IgnoreError();
   g.Finalize();
   KeySet sigma1 = MakeSigma1();
   MatchResult r = Chase(g, sigma1);
@@ -120,12 +120,12 @@ TEST(PaperExamples, Q6StreetsOnlyInUK) {
   NodeId us2 = g.AddEntity("street");
   NodeId zip = g.AddValue("12345");
   for (NodeId s : {uk1, uk2, us1, us2}) {
-    (void)g.AddTriple(s, "zip_code", zip);
+    g.AddTriple(s, "zip_code", zip).IgnoreError();
   }
-  (void)g.AddTriple(uk1, "nation_of", g.AddValue("UK"));
-  (void)g.AddTriple(uk2, "nation_of", g.AddValue("UK"));
-  (void)g.AddTriple(us1, "nation_of", g.AddValue("US"));
-  (void)g.AddTriple(us2, "nation_of", g.AddValue("US"));
+  g.AddTriple(uk1, "nation_of", g.AddValue("UK")).IgnoreError();
+  g.AddTriple(uk2, "nation_of", g.AddValue("UK")).IgnoreError();
+  g.AddTriple(us1, "nation_of", g.AddValue("US")).IgnoreError();
+  g.AddTriple(us2, "nation_of", g.AddValue("US")).IgnoreError();
   g.Finalize();
   KeySet keys;
   ASSERT_TRUE(keys.AddFromDsl(R"(

@@ -127,8 +127,8 @@ TEST(Compile, ResolvesSymbolsAndPlan) {
   Graph g;
   NodeId alb = g.AddEntity("album");
   NodeId art = g.AddEntity("artist");
-  (void)g.AddTriple(alb, "name_of", g.AddValue("A"));
-  (void)g.AddTriple(alb, "recorded_by", art);
+  g.AddTriple(alb, "name_of", g.AddValue("A")).IgnoreError();
+  g.AddTriple(alb, "recorded_by", art).IgnoreError();
   g.Finalize();
 
   Pattern p = MusicKeyQ1();
@@ -161,7 +161,7 @@ TEST(Compile, UnmatchableWhenPredicateMissing) {
 TEST(Compile, UnmatchableWhenConstantMissing) {
   Graph g;
   NodeId s = g.AddEntity("street");
-  (void)g.AddTriple(s, "nation_of", g.AddValue("US"));
+  g.AddTriple(s, "nation_of", g.AddValue("US")).IgnoreError();
   g.Finalize();
   Pattern p;
   int x = p.AddDesignated("street");

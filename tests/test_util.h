@@ -33,18 +33,18 @@ inline MusicGraph MakeG1() {
   NodeId anthology = g.AddValue("Anthology 2");
   NodeId y1996 = g.AddValue("1996");
   NodeId y1997 = g.AddValue("1997");
-  (void)g.AddTriple(m.art1, "name_of", beatles);
-  (void)g.AddTriple(m.art2, "name_of", beatles);
-  (void)g.AddTriple(m.art3, "name_of", farnham);
-  (void)g.AddTriple(m.alb1, "name_of", anthology);
-  (void)g.AddTriple(m.alb2, "name_of", anthology);
-  (void)g.AddTriple(m.alb3, "name_of", anthology);
-  (void)g.AddTriple(m.alb1, "release_year", y1996);
-  (void)g.AddTriple(m.alb2, "release_year", y1996);
-  (void)g.AddTriple(m.alb3, "release_year", y1997);
-  (void)g.AddTriple(m.alb1, "recorded_by", m.art1);
-  (void)g.AddTriple(m.alb2, "recorded_by", m.art2);
-  (void)g.AddTriple(m.alb3, "recorded_by", m.art3);
+  g.AddTriple(m.art1, "name_of", beatles).IgnoreError();
+  g.AddTriple(m.art2, "name_of", beatles).IgnoreError();
+  g.AddTriple(m.art3, "name_of", farnham).IgnoreError();
+  g.AddTriple(m.alb1, "name_of", anthology).IgnoreError();
+  g.AddTriple(m.alb2, "name_of", anthology).IgnoreError();
+  g.AddTriple(m.alb3, "name_of", anthology).IgnoreError();
+  g.AddTriple(m.alb1, "release_year", y1996).IgnoreError();
+  g.AddTriple(m.alb2, "release_year", y1996).IgnoreError();
+  g.AddTriple(m.alb3, "release_year", y1997).IgnoreError();
+  g.AddTriple(m.alb1, "recorded_by", m.art1).IgnoreError();
+  g.AddTriple(m.alb2, "recorded_by", m.art2).IgnoreError();
+  g.AddTriple(m.alb3, "recorded_by", m.art3).IgnoreError();
   g.Finalize();
   return m;
 }
@@ -89,19 +89,19 @@ inline CompanyGraph MakeG2() {
   c.com5 = g.AddEntity("company");
   NodeId att = g.AddValue("AT&T");
   NodeId sbc = g.AddValue("SBC");
-  (void)g.AddTriple(c.com0, "name_of", att);
-  (void)g.AddTriple(c.com1, "name_of", att);
-  (void)g.AddTriple(c.com2, "name_of", att);
-  (void)g.AddTriple(c.com3, "name_of", sbc);
-  (void)g.AddTriple(c.com4, "name_of", att);
-  (void)g.AddTriple(c.com5, "name_of", att);
-  (void)g.AddTriple(c.com0, "parent_of", c.com1);
-  (void)g.AddTriple(c.com0, "parent_of", c.com2);
-  (void)g.AddTriple(c.com0, "parent_of", c.com3);
-  (void)g.AddTriple(c.com1, "parent_of", c.com4);
-  (void)g.AddTriple(c.com2, "parent_of", c.com5);
-  (void)g.AddTriple(c.com3, "parent_of", c.com4);
-  (void)g.AddTriple(c.com3, "parent_of", c.com5);
+  g.AddTriple(c.com0, "name_of", att).IgnoreError();
+  g.AddTriple(c.com1, "name_of", att).IgnoreError();
+  g.AddTriple(c.com2, "name_of", att).IgnoreError();
+  g.AddTriple(c.com3, "name_of", sbc).IgnoreError();
+  g.AddTriple(c.com4, "name_of", att).IgnoreError();
+  g.AddTriple(c.com5, "name_of", att).IgnoreError();
+  g.AddTriple(c.com0, "parent_of", c.com1).IgnoreError();
+  g.AddTriple(c.com0, "parent_of", c.com2).IgnoreError();
+  g.AddTriple(c.com0, "parent_of", c.com3).IgnoreError();
+  g.AddTriple(c.com1, "parent_of", c.com4).IgnoreError();
+  g.AddTriple(c.com2, "parent_of", c.com5).IgnoreError();
+  g.AddTriple(c.com3, "parent_of", c.com4).IgnoreError();
+  g.AddTriple(c.com3, "parent_of", c.com5).IgnoreError();
   g.Finalize();
   return c;
 }

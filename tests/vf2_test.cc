@@ -42,9 +42,9 @@ TEST(Vf2, MultipleMatchesEnumerated) {
   NodeId alb = g.AddEntity("album");
   NodeId a1 = g.AddEntity("artist");
   NodeId a2 = g.AddEntity("artist");
-  (void)g.AddTriple(alb, "name_of", g.AddValue("N"));
-  (void)g.AddTriple(alb, "recorded_by", a1);
-  (void)g.AddTriple(alb, "recorded_by", a2);
+  g.AddTriple(alb, "name_of", g.AddValue("N")).IgnoreError();
+  g.AddTriple(alb, "recorded_by", a1).IgnoreError();
+  g.AddTriple(alb, "recorded_by", a2).IgnoreError();
   g.Finalize();
   CompiledPattern q1 = CompileDsl(g, R"(
     key Q1 for album {
@@ -57,9 +57,9 @@ TEST(Vf2, MultipleMatchesEnumerated) {
 TEST(Vf2, MaxMatchesCap) {
   Graph g;
   NodeId alb = g.AddEntity("album");
-  (void)g.AddTriple(alb, "name_of", g.AddValue("N"));
+  g.AddTriple(alb, "name_of", g.AddValue("N")).IgnoreError();
   for (int i = 0; i < 10; ++i) {
-    (void)g.AddTriple(alb, "recorded_by", g.AddEntity("artist"));
+    g.AddTriple(alb, "recorded_by", g.AddEntity("artist")).IgnoreError();
   }
   g.Finalize();
   CompiledPattern q1 = CompileDsl(g, R"(

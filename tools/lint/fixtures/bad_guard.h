@@ -1,0 +1,12 @@
+// Lint fixture: header whose include guard does not follow the repo
+// GKEYS_<PATH>_H_ convention (and is not #pragma once). Expected
+// finding: [header-hygiene] on the #ifndef line.
+
+#ifndef SOME_RANDOM_GUARD_H
+#define SOME_RANDOM_GUARD_H
+
+namespace gkeys {
+inline int FixtureAnswer() { return 42; }
+}  // namespace gkeys
+
+#endif  // SOME_RANDOM_GUARD_H

@@ -1,0 +1,13 @@
+// Lint fixture: const_cast aliasing of shared state. Expected finding:
+// [cow-aliasing] on the const_cast line below.
+
+#include <vector>
+
+namespace gkeys {
+
+void ScribbleOnSharedSection(const std::vector<int>& shared) {
+  auto& mine = const_cast<std::vector<int>&>(shared);  // BAD
+  mine.push_back(1);
+}
+
+}  // namespace gkeys

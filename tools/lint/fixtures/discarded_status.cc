@@ -1,0 +1,14 @@
+// Lint fixture: (void)-discarding a Status-returning call instead of
+// the sanctioned .IgnoreError(). Expected findings: [discarded-status]
+// on the two (void) lines below.
+
+#include "graph/graph.h"
+
+namespace gkeys {
+
+void DropStatusesOnTheFloor(Graph& g, NodeId a, NodeId b) {
+  (void)g.AddTriple(a, "p", b);    // BAD: silent Status discard
+  (void)g.RemoveTriple(a, "p", b); // BAD: silent Status discard
+}
+
+}  // namespace gkeys

@@ -1,0 +1,15 @@
+// Lint fixture: wall-clock seeding and libc rand() outside
+// common/rng.h / common/timer.h. Expected findings: [nondeterminism]
+// on the srand, rand and time(nullptr) lines below.
+
+#include <cstdlib>
+#include <ctime>
+
+namespace gkeys {
+
+int UnreplayableShuffleSeed() {
+  std::srand(time(nullptr));  // BAD: srand + wall-clock seed
+  return std::rand();         // BAD: rand()
+}
+
+}  // namespace gkeys

@@ -1,0 +1,21 @@
+// Lint fixture: raw POSIX file calls outside src/storage/file_ops.cc.
+// Expected findings: [posix-call] on the ::open, ::write, ::fsync,
+// ::rename and ::unlink lines below.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace gkeys {
+
+void BypassTheFaultSeam(const char* path) {
+  int fd = ::open(path, O_WRONLY | O_CREAT, 0644);  // BAD: raw open
+  ::write(fd, "x", 1);                              // BAD: raw write
+  ::fsync(fd);                                      // BAD: raw fsync
+  ::close(fd);                                      // BAD: raw close
+  ::rename(path, "elsewhere");                      // BAD: raw rename
+  ::unlink(path);                                   // BAD: raw unlink
+}
+
+}  // namespace gkeys

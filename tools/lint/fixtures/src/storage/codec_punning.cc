@@ -1,0 +1,21 @@
+// Lint fixture: byte-punning in a codec file (the fixtures/src/storage/
+// path places it under the codec rule). Expected findings:
+// [codec-punning] on the memcpy and reinterpret_cast lines below.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace gkeys {
+
+uint64_t DecodeWithHostByteOrder(const std::string& buf) {
+  uint64_t v = 0;
+  std::memcpy(&v, buf.data(), sizeof(v));  // BAD: host-endian memcpy
+  return v;
+}
+
+uint64_t DecodeWithAliasing(const char* p) {
+  return *reinterpret_cast<const uint64_t*>(p);  // BAD: punning cast
+}
+
+}  // namespace gkeys

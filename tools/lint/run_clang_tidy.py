@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""run_clang_tidy.py: drive clang-tidy over the exported compilation
+database (CMAKE_EXPORT_COMPILE_COMMANDS) in parallel.
+
+The checks themselves live in the repo-root .clang-tidy; this script
+only selects translation units (first-party code, skipping anything
+outside the repo or under build dirs), fans out one clang-tidy process
+per TU, and fails nonzero if any TU produced a diagnostic.
+
+Usage:
+  run_clang_tidy.py -p build [--clang-tidy /usr/bin/clang-tidy]
+                    [--jobs N] [files...]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+
+
+def load_sources(build_dir, repo_root, explicit):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except OSError as e:
+        print(f"run_clang_tidy: cannot read {db_path}: {e}",
+              file=sys.stderr)
+        print("run_clang_tidy: configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first",
+              file=sys.stderr)
+        sys.exit(2)
+    sources = []
+    for entry in db:
+        src = os.path.abspath(
+            os.path.join(entry["directory"], entry["file"]))
+        if not src.startswith(repo_root + os.sep):
+            continue  # system / third-party TU
+        rel = os.path.relpath(src, repo_root)
+        if rel.startswith(("build", ".")):
+            continue
+        if explicit and rel not in explicit and src not in explicit:
+            continue
+        sources.append(src)
+    return sorted(set(sources))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", dest="build_dir", required=True,
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1))
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these sources (default: all "
+                             "first-party TUs in the database)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, os.pardir))
+    sources = load_sources(os.path.abspath(args.build_dir), repo_root,
+                           set(args.files))
+    if not sources:
+        print("run_clang_tidy: no first-party sources in the database",
+              file=sys.stderr)
+        return 2
+
+    def run_one(src):
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", src],
+            capture_output=True, text=True)
+        return src, proc.returncode, proc.stdout.strip()
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for src, code, out in pool.map(run_one, sources):
+            rel = os.path.relpath(src, repo_root)
+            if code != 0 or out:
+                failures += 1
+                print(f"== {rel} ==")
+                if out:
+                    print(out)
+    print(f"run_clang_tidy: {len(sources)} TUs, "
+          f"{failures} with diagnostics", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
