@@ -1,6 +1,8 @@
 #ifndef GKEYS_CORE_EM_COMMON_H_
 #define GKEYS_CORE_EM_COMMON_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <iterator>
@@ -68,6 +70,14 @@ struct EmOptions {
   int bounded_messages = 0;
   /// §5.2: prioritized propagation (highest-potential edges first).
   bool prioritized = false;
+  /// Shard count for the engines' merge/derivation logs (see
+  /// internal::MergeLog): every worker records into a cache-line-padded
+  /// local shard instead of contending on one global mutex, and shards
+  /// are concatenated in deterministic shard order at drain time.
+  /// 0 = auto (one shard per processor); 1 = the single global log
+  /// (exactly the pre-sharding behavior, which the sharded-vs-global
+  /// equivalence tests in tests/ingest_test.cc compare against).
+  int log_shards = 0;
   /// Record a Derivation (fired key, premises, witness triples) per direct
   /// identification into MatchResult::derivations. Required for removal
   /// deltas to be seeded by Matcher::Rematch (the provenance index is what
@@ -249,54 +259,133 @@ struct RematchSeed {
 
 namespace internal {
 
+/// Resolves EmOptions::log_shards: 0 = one shard per processor, clamped
+/// to [1, 64] (beyond 64 workers the padding cost outweighs the last
+/// contention percent).
+inline int LogShardCount(const EmOptions& opts) {
+  int shards = opts.log_shards > 0 ? opts.log_shards
+                                   : std::max(1, opts.processors);
+  return shards > 64 ? 64 : shards;
+}
+
+/// A small stable per-thread slot id, assigned on first use and fixed
+/// for the thread's lifetime. The sharded logs below map a recording
+/// thread to `slot % shards`: every thread always lands on the SAME
+/// shard, so per-thread record order is preserved within its shard.
+inline uint32_t ThreadLogSlot() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local const uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
 /// Collects the Eq merges an engine performs during a round so the
-/// streamer can expand exactly the classes that changed. Engines record
-/// under a mutex (merges are rare — at most one per entity — so
-/// contention is negligible next to the isomorphism checks around them).
+/// streamer can expand exactly the classes that changed. Sharded: each
+/// worker thread records into a cache-line-padded local shard (fixed
+/// thread → shard mapping via ThreadLogSlot), so the map/compute phases
+/// never contend on one global mutex; Drain concatenates shards in
+/// shard-index order, which is deterministic given what each thread
+/// recorded. Consumers are order-insensitive: PairStreamer::EmitMerges
+/// replays merges through a union-find, and the set of newly implied
+/// pairs is independent of merge order. shards == 1 degenerates to the
+/// original single-mutex global log.
 class MergeLog {
  public:
-  void Record(NodeId a, NodeId b) GKEYS_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    log_.emplace_back(a, b);
+  explicit MergeLog(int shards = 1)
+      : shards_(shards < 1 ? 1 : static_cast<size_t>(shards)) {}
+
+  void Record(NodeId a, NodeId b) {
+    Shard& s = shards_[ThreadLogSlot() % shards_.size()];
+    MutexLock lock(s.mu);
+    s.log.emplace_back(a, b);
   }
 
-  /// Moves out everything recorded since the previous Drain.
-  std::vector<std::pair<NodeId, NodeId>> Drain() GKEYS_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return std::exchange(log_, {});
+  /// Moves out everything recorded since the previous Drain, shards
+  /// concatenated in shard-index order.
+  std::vector<std::pair<NodeId, NodeId>> Drain() {
+    std::vector<std::pair<NodeId, NodeId>> out;
+    for (Shard& s : shards_) {
+      MutexLock lock(s.mu);
+      if (out.empty()) {
+        out = std::exchange(s.log, {});
+      } else {
+        out.insert(out.end(), s.log.begin(), s.log.end());
+        s.log.clear();
+      }
+    }
+    return out;
   }
 
  private:
-  Mutex mu_;
-  std::vector<std::pair<NodeId, NodeId>> log_ GKEYS_GUARDED_BY(mu_);
+  struct alignas(64) Shard {
+    Mutex mu;
+    std::vector<std::pair<NodeId, NodeId>> log GKEYS_GUARDED_BY(mu);
+  };
+  // Constructed once, never resized: Shard is pinned in place (Mutex is
+  // neither copyable nor movable).
+  std::vector<Shard> shards_;
 };
 
-/// Collects the Derivations an engine records during a run (a mutex-
-/// serialized append, like MergeLog — at most one entry per merged pair,
-/// so contention is negligible). The engines' record-before-Union
-/// discipline makes the log replayable: a premise can only read Same
-/// after the supporting Union, which its deriver's Record precedes, so
-/// every entry's premises are supported by earlier entries (in MR the
-/// map/reduce phase barrier gives the same chain). RetractDerivations
-/// does not RELY on that — an out-of-order entry from a future engine
-/// would merely be over-deleted and re-derived — but the current engines
-/// never produce one.
+/// Collects the Derivations an engine records during a run. Sharded
+/// like MergeLog (per-worker cache-line-padded shards, fixed thread →
+/// shard mapping), but unlike merges the derivation log's ORDER is a
+/// contract: RetractDerivations replays it front to back and treats an
+/// entry whose premises are not yet supported as retracted, so a
+/// supporter must precede every dependent. The engines' record-before-
+/// Union discipline guarantees that in wall-clock time (a premise can
+/// only read Same after the supporting Union, which its deriver's
+/// Record precedes) — sharding must not lose it across shards. Each
+/// Record therefore stamps the entry from one shared atomic counter
+/// BEFORE appending to its shard, and Take merges shards by stamp: the
+/// supporter's fetch_add happens-before the dependent's (through the
+/// Union/Same synchronization the discipline already relies on), so
+/// supporter stamps are strictly smaller and the merged log replays
+/// exactly like the old single-mutex global log. The counter is one
+/// uncontended-size RMW — far cheaper than the mutex critical section
+/// (lock + vector append + unlock) it replaces as the shared hot spot.
 class DerivationLog {
  public:
-  void Record(Derivation d) GKEYS_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    log_.push_back(std::move(d));
+  explicit DerivationLog(int shards = 1)
+      : shards_(shards < 1 ? 1 : static_cast<size_t>(shards)) {}
+
+  void Record(Derivation d) {
+    const uint64_t stamp = seq_.fetch_add(1, std::memory_order_acq_rel);
+    Shard& s = shards_[ThreadLogSlot() % shards_.size()];
+    MutexLock lock(s.mu);
+    s.log.push_back(Entry{stamp, std::move(d)});
   }
 
-  /// Moves out everything recorded so far (call once, post-fixpoint).
-  std::vector<Derivation> Take() GKEYS_EXCLUDES(mu_) {
-    MutexLock lock(mu_);
-    return std::exchange(log_, {});
+  /// Moves out everything recorded so far (call once, post-fixpoint),
+  /// merged across shards into record-stamp order.
+  std::vector<Derivation> Take() {
+    std::vector<Entry> entries;
+    for (Shard& s : shards_) {
+      MutexLock lock(s.mu);
+      entries.insert(entries.end(), std::make_move_iterator(s.log.begin()),
+                     std::make_move_iterator(s.log.end()));
+      s.log.clear();
+    }
+    // Stamps are distinct (fetch_add), so this is a total order; each
+    // shard's run is already ascending, making sort cheap in practice.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    std::vector<Derivation> out;
+    out.reserve(entries.size());
+    for (Entry& e : entries) out.push_back(std::move(e.d));
+    return out;
   }
 
  private:
-  Mutex mu_;
-  std::vector<Derivation> log_ GKEYS_GUARDED_BY(mu_);
+  struct Entry {
+    uint64_t stamp;
+    Derivation d;
+  };
+  struct alignas(64) Shard {
+    Mutex mu;
+    std::vector<Entry> log GKEYS_GUARDED_BY(mu);
+  };
+  std::atomic<uint64_t> seq_{0};
+  std::vector<Shard> shards_;
 };
 
 /// Assembles MatchResult::derivations at the end of an engine run: the

@@ -51,8 +51,8 @@ StatusOr<MatchResult> RunEmMapReduce(const EmContext& ctx,
   Timer run;
   ConcurrentEquivalence eq(g.NumNodes());
   EqView view(&eq);
-  internal::MergeLog merge_log;
-  internal::DerivationLog deriv_log;
+  internal::MergeLog merge_log(internal::LogShardCount(opts));
+  internal::DerivationLog deriv_log(internal::LogShardCount(opts));
 
   // Search stats aggregated lock-free (mappers run concurrently; a mutex
   // here would serialize the map phase and destroy parallel scalability).

@@ -303,8 +303,8 @@ StatusOr<MatchResult> RunEmVertexCentric(const EmContext& ctx,
 
   Timer run;
   ConcurrentEquivalence eq(g.NumNodes());
-  internal::MergeLog merge_log;
-  internal::DerivationLog deriv_log;
+  internal::MergeLog merge_log(internal::LogShardCount(opts));
+  internal::DerivationLog deriv_log(internal::LogShardCount(opts));
   std::vector<std::atomic<uint8_t>> flags(candidates.size());
   for (auto& f : flags) f.store(0, std::memory_order_relaxed);
   int max_slots = 1;

@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "core/em_common.h"
+#include "core/ingest_pipeline.h"
 #include "core/match_plan.h"
 #include "graph/delta.h"
 #include "graph/graph.h"
@@ -158,6 +159,12 @@ class Matcher {
     options_.record_provenance = v;
     return *this;
   }
+  /// Shard count for the engines' merge/derivation logs; 0 = auto (one
+  /// per processor), 1 = the single global log. See EmOptions::log_shards.
+  Matcher& log_shards(int n) {
+    options_.log_shards = n;
+    return *this;
+  }
   /// Replaces the whole option set at once (for callers that already
   /// hold an EmOptions, e.g. the legacy wrappers and ablation benches).
   Matcher& options(const EmOptions& opts) {
@@ -272,6 +279,28 @@ class Matcher {
   /// report). Defined in storage/recovery.cc for the same layering
   /// reason as Resume; see storage/recovery.h for the state machine.
   StatusOr<storage::RecoveredSession> Recover(const std::string& dir) const;
+
+  /// Streaming ingest: pulls delta batches from `source` through the
+  /// staged pipeline (core/ingest_pipeline.h) — batch N+1 tokenizes on
+  /// its own thread while batch N runs bind → Apply → Patch → Rematch
+  /// here — advancing `session` in place, byte-identical to calling the
+  /// serial chain per batch. Defined in core/ingest_pipeline.cc.
+  IngestStats IngestStream(const IngestSession& session,
+                           const IngestSource& source,
+                           const IngestOptions& opts = {},
+                           const IngestObserver& observer = {}) const;
+
+  /// Snapshot-session convenience: same pipeline over a restored
+  /// storage::Snapshot. `entity_names` is the session's ent-token table
+  /// (pass RecoveredSession::entity_names after a Recover — it extends
+  /// the snapshot's own); committed batches bind new tokens into it.
+  /// Defined in storage/snapshot.cc for the same layering reason as
+  /// Resume.
+  IngestStats IngestStream(storage::Snapshot& snapshot,
+                           std::unordered_map<std::string, NodeId>& entity_names,
+                           const IngestSource& source,
+                           const IngestOptions& opts = {},
+                           const IngestObserver& observer = {}) const;
 
  private:
   Status Validate(const MatchPlan& plan) const;

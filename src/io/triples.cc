@@ -8,6 +8,20 @@ namespace gkeys {
 
 namespace {
 
+/// Extracts the line starting at `pos` and advances `pos` past its
+/// newline. A trailing '\r' is stripped so CRLF files parse identically
+/// to LF files, and the final line needs no trailing newline — both
+/// guaranteed to match the chunked fast path (io/fast_triples.cc), which
+/// splits lines the same way.
+std::string_view NextLine(std::string_view text, size_t& pos) {
+  size_t nl = text.find('\n', pos);
+  std::string_view line = text.substr(
+      pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+  pos = nl == std::string_view::npos ? text.size() : nl + 1;
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
 std::string EscapeLiteral(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -99,10 +113,7 @@ StatusOr<LoadedGraph> DeserializeGraphWithNames(std::string_view text) {
   int line_no = 0;
   size_t pos = 0;
   while (pos < text.size()) {
-    size_t nl = text.find('\n', pos);
-    std::string_view line = text.substr(
-        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
-    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    std::string_view line = NextLine(text, pos);
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
     // Split into exactly 3 space-separated fields; the literal may contain
@@ -179,10 +190,7 @@ StatusOr<GraphDelta> ParseDelta(
   int line_no = 0;
   size_t pos = 0;
   while (pos < text.size()) {
-    size_t nl = text.find('\n', pos);
-    std::string_view line = text.substr(
-        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
-    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    std::string_view line = NextLine(text, pos);
     ++line_no;
     auto err = [line_no](std::string msg) {
       return Status::InvalidArgument("delta line " + std::to_string(line_no) +

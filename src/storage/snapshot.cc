@@ -121,6 +121,19 @@ StatusOr<MatchResult> Snapshot::Resume(const Matcher& matcher,
   return result;
 }
 
+IngestStats Snapshot::Ingest(
+    const Matcher& matcher,
+    std::unordered_map<std::string, NodeId>& entity_names,
+    const IngestSource& source, const IngestOptions& opts,
+    const IngestObserver& observer) {
+  IngestSession session;
+  session.graph = graph_.get();
+  session.plan = &plan_;
+  session.result = &result_;
+  session.entity_names = &entity_names;
+  return RunIngestPipeline(matcher, session, source, opts, observer);
+}
+
 }  // namespace storage
 
 // Defined here (not in core/matcher.cc) so the core library stays layered
@@ -128,6 +141,14 @@ StatusOr<MatchResult> Snapshot::Resume(const Matcher& matcher,
 StatusOr<MatchResult> Matcher::Resume(storage::Snapshot& snapshot,
                                       const GraphDelta& pending) const {
   return snapshot.Resume(*this, pending);
+}
+
+IngestStats Matcher::IngestStream(
+    storage::Snapshot& snapshot,
+    std::unordered_map<std::string, NodeId>& entity_names,
+    const IngestSource& source, const IngestOptions& opts,
+    const IngestObserver& observer) const {
+  return snapshot.Ingest(*this, entity_names, source, opts, observer);
 }
 
 }  // namespace gkeys

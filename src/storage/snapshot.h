@@ -84,6 +84,18 @@ class Snapshot {
   StatusOr<MatchResult> Resume(const Matcher& matcher,
                                const GraphDelta& pending);
 
+  /// Streaming ingest over this session: runs the staged pipeline
+  /// (core/ingest_pipeline.h) against the snapshot's graph/plan/result,
+  /// advancing them in place batch by batch — the streaming counterpart
+  /// of repeated Resume calls. `entity_names` is the ent-token table
+  /// batches parse against (usually RecoveredSession::entity_names,
+  /// which extends entity_names()); it gains each committed batch's new
+  /// tokens. Usually invoked through Matcher::IngestStream.
+  IngestStats Ingest(const Matcher& matcher,
+                     std::unordered_map<std::string, NodeId>& entity_names,
+                     const IngestSource& source, const IngestOptions& opts,
+                     const IngestObserver& observer);
+
  private:
   Snapshot() = default;
 

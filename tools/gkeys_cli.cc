@@ -14,8 +14,12 @@
 //   gkeys save <graph.triples> <keys.dsl> --dir=DIR [--algorithm=NAME]
 //              [--processors=N]            (durable directory, generation 1)
 //   gkeys load <snapshot> [--delta=DELTA.triples] [--processors=N]
-//   gkeys ingest <dir> <delta.triples> [--processors=N]
-//                                       (apply + write-ahead-log the batch)
+//   gkeys ingest <dir> <delta.triples|-> [--processors=N] [--pipeline]
+//                                       (apply + write-ahead-log the batch;
+//                                        '-' reads the delta from stdin;
+//                                        --pipeline streams '---'-separated
+//                                        batches through the staged ingest
+//                                        pipeline)
 //   gkeys recover <dir> [--processors=N] [--quiet]
 //                                       (crash recovery: snapshot + log)
 
@@ -23,10 +27,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/entity_matcher.h"
+#include "core/ingest_pipeline.h"
 #include "core/provenance.h"
 #include "discovery/key_discovery.h"
 #include "gen/synthetic.h"
@@ -60,8 +68,10 @@ int Usage() {
                "[--processors=N]  (durable directory: snapshot + WAL)\n"
                "  load <snapshot> [--delta=delta.triples] [--processors=N]  "
                "(restore; apply pending deltas incrementally)\n"
-               "  ingest <dir> <delta.triples> [--processors=N]  (apply one "
-               "batch and make it durable in the write-ahead log)\n"
+               "  ingest <dir> <delta.triples|-> [--processors=N] "
+               "[--pipeline]  (apply one batch — or, with --pipeline, a "
+               "stream of '---'-separated batches — and make each durable "
+               "in the write-ahead log; '-' reads from stdin)\n"
                "  recover <dir> [--processors=N] [--quiet]  (rebuild from "
                "newest valid snapshot + surviving log records)\n");
   return 2;
@@ -490,16 +500,139 @@ int CmdLoad(int argc, char** argv) {
   return 0;
 }
 
+/// Drains stdin for `gkeys ingest <dir> -`.
+StatusOr<std::string> ReadAllStdin() {
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, stdin)) > 0) out.append(buf, n);
+  if (std::ferror(stdin)) return Status::IoError("error reading stdin");
+  return out;
+}
+
+/// Splits --pipeline input into batches on `---` separator lines (CRLF
+/// tolerated, like the delta format itself). Batches keep their own
+/// line endings; separator lines are consumed. No separator = one batch.
+std::vector<std::string> SplitDeltaBatches(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    size_t line_end = nl == std::string_view::npos ? text.size() : nl + 1;
+    std::string_view trimmed = line;
+    if (!trimmed.empty() && trimmed.back() == '\r') trimmed.remove_suffix(1);
+    if (trimmed == "---") {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.append(text.substr(pos, line_end - pos));
+    }
+    pos = line_end;
+  }
+  if (!cur.empty() || out.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// `gkeys ingest <dir> ... --pipeline`: streams '---'-separated delta
+/// batches through the staged ingest pipeline (core/ingest_pipeline.h),
+/// tokenizing batch N+1 while batch N runs the engine chain. Each batch
+/// follows the serial command's durability discipline — applied first,
+/// WAL-appended second, so a crash loses at most the in-flight batch
+/// and replay can never fail on a logged one.
+int IngestPipelined(const std::string& dir, std::string text, int p) {
+  Matcher matcher;
+  matcher.processors(p);
+  auto t0 = std::chrono::steady_clock::now();
+  auto session = matcher.Recover(dir);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto ddir = storage::DurableDir::Open(dir);
+  if (!ddir.ok()) {
+    std::fprintf(stderr, "%s\n", ddir.status().ToString().c_str());
+    return 1;
+  }
+  if (ddir->generation() != session->report.generation) {
+    // Same refusal as the serial path: appending to a newer generation's
+    // log would put batches where replay cannot see them.
+    std::fprintf(stderr,
+                 "DataLoss: recovered generation %llu but the newest in %s "
+                 "is %llu; re-save a snapshot before ingesting\n",
+                 static_cast<unsigned long long>(session->report.generation),
+                 dir.c_str(),
+                 static_cast<unsigned long long>(ddir->generation()));
+    return 1;
+  }
+
+  std::vector<std::string> batches = SplitDeltaBatches(text);
+  size_t next = 0;
+  IngestSource source = [&]() -> std::optional<std::string> {
+    if (next >= batches.size()) return std::nullopt;
+    return std::move(batches[next++]);
+  };
+  IngestObserver observer = [&](const IngestBatch& b) -> Status {
+    // contributed, not delta->empty(): under group commit b.delta is the
+    // whole group's delta, but the WAL (like the serial path) must skip
+    // exactly the no-op batches.
+    if (!b.contributed) return Status::OK();
+    return ddir->AppendDeltaText(*b.text);
+  };
+
+  size_t prev_pairs = session->snapshot.result().pairs.size();
+  Matcher replayer(session->snapshot.algorithm());
+  replayer.processors(p);
+  IngestOptions iopts;
+  iopts.parse_threads = p;
+  IngestStats stats = replayer.IngestStream(
+      session->snapshot, session->entity_names, source, iopts, observer);
+  if (!stats.status.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status.ToString().c_str());
+    if (stats.batches > 0) {
+      std::fprintf(stderr,
+                   "# %zu batch(es) committed and logged before the failure\n",
+                   stats.batches);
+    }
+    return 1;
+  }
+  std::printf(
+      "# ingested %zu batches in %zu commits (+%llu -%llu triples, %zu "
+      "empty) into %s "
+      "generation=%llu: pairs=%zu (%+ld) wal_records=%zu\n"
+      "# stages: parse=%.1fms bind=%.1fms apply=%.1fms patch=%.1fms "
+      "rematch=%.1fms total=%.1fms\n",
+      stats.batches, stats.commits,
+      static_cast<unsigned long long>(stats.added_triples),
+      static_cast<unsigned long long>(stats.removed_triples),
+      stats.empty_batches, dir.c_str(),
+      static_cast<unsigned long long>(ddir->generation()),
+      session->snapshot.result().pairs.size(),
+      static_cast<long>(session->snapshot.result().pairs.size()) -
+          static_cast<long>(prev_pairs),
+      ddir->wal_records(), stats.seconds.parse * 1e3,
+      stats.seconds.bind * 1e3, stats.seconds.apply * 1e3,
+      stats.seconds.patch * 1e3, stats.seconds.rematch * 1e3,
+      SecondsSince(t0) * 1e3);
+  return 0;
+}
+
 int CmdIngest(int argc, char** argv) {
   if (argc < 4) return Usage();
   const std::string dir = argv[2];
   int p = std::atoi(FlagValue(argc, argv, "--processors", "4").c_str());
   if (p <= 0) p = 4;
 
-  auto text = ReadFile(argv[3]);
+  auto text = std::strcmp(argv[3], "-") == 0 ? ReadAllStdin()
+                                             : ReadFile(argv[3]);
   if (!text.ok()) {
     std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     return 1;
+  }
+  if (HasFlag(argc, argv, "--pipeline")) {
+    return IngestPipelined(dir, *std::move(text), p);
   }
 
   // Rebuild the session exactly as a post-crash process would, so

@@ -1,0 +1,25 @@
+// Seeded violations for the simd-confinement rule: intrinsics, vector
+// types, intrinsic headers, and architecture #ifdefs belong in
+// src/common/simd_scan.h only. Never compiled; the lint test feeds this
+// file to gkeys_lint.py and expects every marked line flagged.
+#include <cstddef>
+
+#if defined(__SSE2__)  // finding: architecture macro outside simd_scan.h
+#include <emmintrin.h>  // finding: intrinsic header
+#endif
+
+std::size_t CountZeroBytes(const unsigned char* data, std::size_t n) {
+  std::size_t hits = 0;
+  std::size_t i = 0;
+#ifdef __AVX2__  // finding: architecture macro outside simd_scan.h
+  // (pretend-vectorized loop; the rule fires on the tokens, not the
+  // semantics)
+#endif
+  const __m128i zero = _mm_setzero_si128();  // finding: type + intrinsic
+  for (; i + 16 <= n; i += 16) {
+    hits += static_cast<std::size_t>(
+        _mm_movemask_epi8(zero));  // finding: intrinsic call
+  }
+  for (; i < n; ++i) hits += data[i] == 0 ? 1 : 0;
+  return hits;
+}

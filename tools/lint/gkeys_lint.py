@@ -32,6 +32,13 @@ general C++ rules:
   nondeterminism    rand() / srand() / time(nullptr) are banned outside
                     common/rng.h and common/timer.h; tests and engines
                     seed explicitly so every failure replays.
+  simd-confinement  SIMD intrinsics (_mm*, __m128i & friends), intrinsic
+                    headers (<*mmintrin.h>, <arm_neon.h>), and
+                    architecture #ifdefs (__SSE*/__AVX*) live only in
+                    src/common/simd_scan.h, whose portable wrappers carry
+                    bit-equivalent scalar fallbacks. Anywhere else they
+                    fork behavior by build architecture and dodge the
+                    fallback-equivalence tests.
 
 Usage:
   gkeys_lint.py --root /path/to/repo              # lint the tree
@@ -72,6 +79,12 @@ DISCARD_RE = re.compile(
     r"\(\s*void\s*\)\s*[A-Za-z_][\w.\->]*"
     r"(AddTriple|RemoveTriple|Apply|Patch|Save|Append|Fsync|Rename|"
     r"Truncate|WriteFull|AddFromDsl)\s*\(")
+
+SIMD_ALLOW = {"src/common/simd_scan.h"}
+SIMD_INTRIN_RE = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:64|128|256|512)[id]?\b|"
+    r"#\s*include\s*<[a-z]*mmintrin\.h>|#\s*include\s*<arm_neon\.h>")
+SIMD_MACRO_RE = re.compile(r"__(?:SSE|AVX)\w*__")
 
 RAND_RE = re.compile(r"\b(rand|srand)\s*\(")
 TIME_RE = re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)")
@@ -174,6 +187,18 @@ class Linter:
             rel, code_lines, CONST_CAST_RE, "cow-aliasing",
             "const_cast is banned: plan sections are COW-shared across "
             "threads, and non-const aliasing of shared state races")
+
+        if rel not in SIMD_ALLOW:
+            self.scan_regex(
+                rel, code_lines, SIMD_INTRIN_RE, "simd-confinement",
+                "SIMD intrinsics are confined to src/common/simd_scan.h; "
+                "call its portable scanners (scalar-fallback-equivalent) "
+                "instead")
+            self.scan_regex(
+                rel, code_lines, SIMD_MACRO_RE, "simd-confinement",
+                "architecture #ifdefs (__SSE*/__AVX*) are confined to "
+                "src/common/simd_scan.h so behavior never forks by build "
+                "target")
 
         if rel not in NONDET_ALLOW:
             self.scan_regex(

@@ -21,6 +21,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_guard.h": ("header-hygiene", 1),
     "nondeterminism.cc": ("nondeterminism", 3),
     "cow_aliasing.cc": ("cow-aliasing", 1),
+    "simd_confinement.cc": ("simd-confinement", 5),
 }
 
 
