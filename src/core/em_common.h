@@ -143,6 +143,11 @@ struct EmStats {
   size_t rematch_seeded = 0;       // 1: this run was seeded from prev
   size_t rematch_fallback = 0;     // 1: Rematch ran the patched plan full
   size_t derivations_retracted = 0;  // removal handling: over-deleted
+  /// Pairs of the previous result absent from this one (Rematch only) —
+  /// the exact retractions a removal delta caused, net of re-derivation.
+  /// Matches the OnPairRetracted callback count; 0 for additive deltas
+  /// (identification is monotone in G).
+  size_t pairs_retracted = 0;
   double prep_seconds = 0.0;       // DriverMR line 1 work
   double run_seconds = 0.0;        // fixpoint computation
 };
@@ -220,6 +225,15 @@ class MatchSink {
   /// Called at least once per fixpoint round with cumulative statistics
   /// (rounds, confirmed, iso_checks/messages so far).
   virtual void OnProgress(const EmStats& progress) { (void)progress; }
+
+  /// A previously identified pair (a < b) no longer in chase(G, Σ) after
+  /// a removal delta. Invoked by Matcher::Rematch only — once per lost
+  /// pair, after the new fixpoint completed (so a retraction is final:
+  /// pairs the over-deletion re-derived are never reported), before
+  /// Rematch returns. Streams under additive deltas never retract
+  /// (identification is monotone in G). The count is also reported as
+  /// EmStats::pairs_retracted.
+  virtual void OnPairRetracted(NodeId a, NodeId b) { (void)a; (void)b; }
 
   /// Polled between rounds; return true to stop the run. A cancelled run
   /// surfaces as StatusCode::kCancelled and the sink keeps every pair

@@ -11,6 +11,28 @@
 
 namespace gkeys {
 
+namespace {
+
+/// Reports prev \ cur to the sink (both pair lists sorted): the exact
+/// retractions a removal delta caused, net of everything the fixpoint
+/// re-derived. Called after the new result is final, so every reported
+/// pair is genuinely gone. Returns the count for EmStats::pairs_retracted.
+size_t ReportRetractedPairs(const std::vector<std::pair<NodeId, NodeId>>& prev,
+                            const std::vector<std::pair<NodeId, NodeId>>& cur,
+                            MatchSink* sink) {
+  size_t retracted = 0;
+  auto it = cur.begin();
+  for (const auto& p : prev) {
+    while (it != cur.end() && *it < p) ++it;
+    if (it != cur.end() && *it == p) continue;
+    ++retracted;
+    if (sink != nullptr) sink->OnPairRetracted(p.first, p.second);
+  }
+  return retracted;
+}
+
+}  // namespace
+
 Status Matcher::Validate(const MatchPlan& plan) const {
   if (!plan.valid()) {
     return Status::InvalidArgument(
@@ -120,7 +142,13 @@ StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
     // Full run of the patched plan — still exact for the post-delta
     // graph, just unseeded.
     StatusOr<MatchResult> r = RunWithSink(plan, sink);
-    if (r.ok()) r->stats.rematch_fallback = 1;
+    if (r.ok()) {
+      r->stats.rematch_fallback = 1;
+      if (delta.has_removals()) {
+        r->stats.pairs_retracted =
+            ReportRetractedPairs(prev.pairs, r->pairs, sink);
+      }
+    }
     return r;
   }
 
@@ -198,6 +226,9 @@ StatusOr<MatchResult> Matcher::RematchWithSink(const MatchPlan& plan,
   if (!r.ok()) return r;
   r->stats.rematch_seeded = 1;
   r->stats.derivations_retracted = retained.retracted;
+  if (delta.has_removals()) {
+    r->stats.pairs_retracted = ReportRetractedPairs(prev.pairs, r->pairs, sink);
+  }
   r->stats.prep_seconds = plan.compile_seconds();
   r->stats.plan_bytes =
       plan.memory_bytes() + ProvenanceIndexBytes(r->derivations);

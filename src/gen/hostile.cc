@@ -1,0 +1,477 @@
+#include "gen/hostile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace gkeys {
+
+namespace {
+
+/// Cumulative Zipf(alpha) distribution over [0, n): weight of rank k is
+/// 1/(k+1)^alpha. Sampling is a binary search over the prefix sums, so a
+/// draw costs O(log n) and is fully determined by the Rng stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha) : cum_(n) {
+    double total = 0;
+    for (size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+      cum_[k] = total;
+    }
+    for (double& c : cum_) c /= total;
+  }
+
+  size_t Draw(Rng& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+    return it == cum_.end() ? cum_.size() - 1
+                            : static_cast<size_t>(it - cum_.begin());
+  }
+
+ private:
+  std::vector<double> cum_;
+};
+
+int Scaled(int base, double scale, int floor) {
+  return std::max(floor, static_cast<int>(base * scale));
+}
+
+void Plant(SyntheticDataset& ds, NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  ds.planted.emplace_back(a, b);
+}
+
+}  // namespace
+
+SyntheticDataset GeneratePowerLaw(const PowerLawConfig& config) {
+  SyntheticDataset ds;
+  Rng rng(config.seed);
+
+  const int hubs = std::max(2, config.num_hubs);
+  const int leaves = Scaled(config.num_leaves, config.scale, 4);
+  int hub_dups = std::min(config.hub_dup_pairs, hubs / 2);
+  int leaf_dups =
+      std::min(Scaled(config.leaf_dup_pairs, config.scale, 1), leaves / 2);
+
+  Status st = ds.keys.AddFromDsl(
+      "key K_hub for hub {\n"
+      "  x -[hv0]-> v0*\n"
+      "  x -[hv1]-> v1*\n"
+      "}\n"
+      "key K_leaf for leaf {\n"
+      "  x -[la]-> v0*\n"
+      "  x -[link]-> y:hub\n"
+      "}\n");
+  assert(st.ok());
+  (void)st;
+
+  Graph& g = ds.graph;
+  int uniq = 0;
+  auto fresh = [&](const char* prefix) {
+    return std::string(prefix) + "_" + std::to_string(uniq++);
+  };
+
+  // Hubs: duplicate pairs share both attribute values; singles are unique.
+  auto make_hub = [&](const std::string& v0, const std::string& v1) {
+    NodeId h = g.AddEntity("hub");
+    g.AddTriple(h, "hv0", g.AddValue(v0)).IgnoreError();
+    g.AddTriple(h, "hv1", g.AddValue(v1)).IgnoreError();
+    return h;
+  };
+  std::vector<NodeId> all_hubs;
+  std::vector<std::pair<NodeId, NodeId>> hub_pairs;
+  for (int j = 0; j < hub_dups; ++j) {
+    std::string v0 = "hd0_" + std::to_string(j);
+    std::string v1 = "hd1_" + std::to_string(j);
+    NodeId a = make_hub(v0, v1);
+    NodeId b = make_hub(v0, v1);
+    hub_pairs.emplace_back(a, b);
+    all_hubs.push_back(a);
+    all_hubs.push_back(b);
+    Plant(ds, a, b);
+  }
+  for (int s = 0; s < hubs - 2 * hub_dups; ++s) {
+    all_hubs.push_back(make_hub(fresh("hs0"), fresh("hs1")));
+  }
+
+  // Leaves: unique `la` except planted pairs; hub chosen by a Zipf draw,
+  // so the first hubs in `all_hubs` accumulate in-degree.
+  ZipfSampler hub_zipf(all_hubs.size(), config.alpha);
+  auto make_leaf = [&](const std::string& la, NodeId hub) {
+    NodeId l = g.AddEntity("leaf");
+    g.AddTriple(l, "la", g.AddValue(la)).IgnoreError();
+    g.AddTriple(l, "link", hub).IgnoreError();
+    return l;
+  };
+  std::vector<NodeId> all_leaves;
+  for (int j = 0; j < leaf_dups; ++j) {
+    std::string la = "ld_" + std::to_string(j);
+    bool chained = !hub_pairs.empty() && rng.Chance(config.chained_fraction);
+    NodeId a, b;
+    if (chained) {
+      // Resolves only after the hub pair merges (round >= 2).
+      const auto& [ha, hb] = hub_pairs[j % hub_pairs.size()];
+      a = make_leaf(la, ha);
+      b = make_leaf(la, hb);
+    } else {
+      NodeId h = all_hubs[hub_zipf.Draw(rng)];
+      a = make_leaf(la, h);
+      b = make_leaf(la, h);
+    }
+    all_leaves.push_back(a);
+    all_leaves.push_back(b);
+    Plant(ds, a, b);
+  }
+  for (int s = 0; s < leaves - 2 * leaf_dups; ++s) {
+    all_leaves.push_back(
+        make_leaf(fresh("ls"), all_hubs[hub_zipf.Draw(rng)]));
+  }
+
+  // Non-key `follows` edges, targets Zipf-drawn over leaves: skewed
+  // degree inside the leaf population too, invisible to the keys.
+  if (config.follows_per_leaf > 0 && all_leaves.size() > 1) {
+    ZipfSampler leaf_zipf(all_leaves.size(), config.alpha);
+    for (NodeId l : all_leaves) {
+      for (int k = 0; k < config.follows_per_leaf; ++k) {
+        NodeId t = all_leaves[leaf_zipf.Draw(rng)];
+        if (t != l) g.AddTriple(l, "follows", t).IgnoreError();
+      }
+    }
+  }
+
+  g.Finalize();
+  std::sort(ds.planted.begin(), ds.planted.end());
+  return ds;
+}
+
+SyntheticDataset GenerateSkewedSelectivity(
+    const SkewedSelectivityConfig& config) {
+  SyntheticDataset ds;
+  Rng rng(config.seed);
+
+  const int items = Scaled(config.num_items, config.scale, 4);
+  const int hot = std::max(2, static_cast<int>(items * config.hot_fraction));
+  int dups = std::min(Scaled(config.dup_pairs, config.scale, 1), hot / 2);
+
+  Status st = ds.keys.AddFromDsl(
+      "key K_item for item {\n"
+      "  x -[ia]-> v0*\n"
+      "  x -[iref]-> y:anchor\n"
+      "}\n"
+      "key K_anchor for anchor {\n"
+      "  x -[ab]-> v0*\n"
+      "}\n");
+  assert(st.ok());
+  (void)st;
+
+  Graph& g = ds.graph;
+  int uniq = 0;
+  auto fresh = [&](const char* prefix) {
+    return std::string(prefix) + "_" + std::to_string(uniq++);
+  };
+  auto make_anchor = [&](const std::string& ab) {
+    NodeId a = g.AddEntity("anchor");
+    g.AddTriple(a, "ab", g.AddValue(ab)).IgnoreError();
+    return a;
+  };
+  auto make_item = [&](const std::string& ia, NodeId anchor) {
+    NodeId e = g.AddEntity("item");
+    g.AddTriple(e, "ia", g.AddValue(ia)).IgnoreError();
+    g.AddTriple(e, "iref", anchor).IgnoreError();
+    return e;
+  };
+
+  // Planted duplicates live inside the hot bucket: they share the hot
+  // literal with every hot single, so blocking cannot separate them.
+  for (int j = 0; j < dups; ++j) {
+    NodeId a, b;
+    if (rng.Chance(config.chained_fraction)) {
+      // The pair's anchors are themselves a planted duplicate: the item
+      // pair resolves one round after the anchor pair.
+      std::string ab = "anch_d_" + std::to_string(j);
+      NodeId aa = make_anchor(ab);
+      NodeId ba = make_anchor(ab);
+      Plant(ds, aa, ba);
+      a = make_item("hot", aa);
+      b = make_item("hot", ba);
+    } else {
+      NodeId shared = make_anchor(fresh("anch_s"));
+      a = make_item("hot", shared);
+      b = make_item("hot", shared);
+    }
+    Plant(ds, a, b);
+  }
+  // Hot singles: same hot literal (the giant bucket), private anchor with
+  // a unique value — candidates that can never be identified.
+  for (int s = 0; s < hot - 2 * dups; ++s) {
+    make_item("hot", make_anchor(fresh("anch_h")));
+  }
+  // Cold items: unique source values, so blocking keeps them all apart.
+  for (int s = 0; s < items - hot; ++s) {
+    make_item(fresh("cold"), make_anchor(fresh("anch_c")));
+  }
+
+  g.Finalize();
+  std::sort(ds.planted.begin(), ds.planted.end());
+  return ds;
+}
+
+SyntheticDataset GenerateNearDuplicates(const NearDuplicateConfig& config) {
+  SyntheticDataset ds;
+  Rng rng(config.seed);
+
+  const int clusters = Scaled(config.num_clusters, config.scale, 1);
+  const int k = std::max(2, config.cluster_size);
+
+  Status st = ds.keys.AddFromDsl(
+      "key K_prod for prod {\n"
+      "  x -[pt]-> v0*\n"
+      "  x -[pref]-> y:part\n"
+      "}\n"
+      "key K_part for part {\n"
+      "  x -[pb]-> v0*\n"
+      "}\n");
+  assert(st.ok());
+  (void)st;
+
+  Graph& g = ds.graph;
+  int uniq = 0;
+  for (int c = 0; c < clusters; ++c) {
+    std::string token = "cl_" + std::to_string(c);
+    // The true pair hides at a random position inside the cluster.
+    uint64_t pos = rng.Below(static_cast<uint64_t>(k - 1));
+    std::vector<NodeId> prods, parts;
+    for (int i = 0; i < k; ++i) {
+      bool is_dup = static_cast<uint64_t>(i) == pos ||
+                    static_cast<uint64_t>(i) == pos + 1;
+      NodeId part = g.AddEntity("part");
+      std::string pb = is_dup ? "pp_" + std::to_string(c)
+                              : "pu_" + std::to_string(uniq++);
+      g.AddTriple(part, "pb", g.AddValue(pb)).IgnoreError();
+      NodeId prod = g.AddEntity("prod");
+      g.AddTriple(prod, "pt", g.AddValue(token)).IgnoreError();
+      g.AddTriple(prod, "pref", part).IgnoreError();
+      prods.push_back(prod);
+      parts.push_back(part);
+    }
+    Plant(ds, prods[pos], prods[pos + 1]);
+    Plant(ds, parts[pos], parts[pos + 1]);
+  }
+
+  g.Finalize();
+  std::sort(ds.planted.begin(), ds.planted.end());
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Delta generators
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// An existing triple, with the predicate resolved to its string so the
+/// GraphDelta staging API can consume it.
+struct PickedTriple {
+  NodeId s;
+  std::string pred;
+  NodeId o;
+};
+
+/// Entities that currently have at least one outgoing triple, ascending.
+std::vector<NodeId> SubjectsWithEdges(const Graph& g) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.IsEntity(n) && g.OutDegree(n) > 0) out.push_back(n);
+  }
+  return out;
+}
+
+PickedTriple PickTriple(const Graph& g, NodeId subject, Rng& rng) {
+  auto edges = g.Out(subject);
+  const Edge& e = edges[rng.Below(edges.size())];
+  return {subject, g.interner().Resolve(e.pred), e.dst};
+}
+
+class UniformDeltaGen : public DeltaGenerator {
+ public:
+  explicit UniformDeltaGen(const DeltaGenConfig& config)
+      : cfg_(config), rng_(config.seed) {}
+
+  GraphDelta Next(const Graph& g) override {
+    GraphDelta d(g);
+    std::vector<NodeId> subjects = SubjectsWithEdges(g);
+    std::vector<Symbol> types = g.EntityTypes();
+    std::set<std::tuple<NodeId, std::string, NodeId>> staged_removals;
+    for (size_t i = 0; i < cfg_.ops_per_batch; ++i) {
+      if (!subjects.empty() && rng_.Chance(cfg_.remove_fraction)) {
+        PickedTriple t =
+            PickTriple(g, subjects[rng_.Below(subjects.size())], rng_);
+        if (staged_removals.emplace(t.s, t.pred, t.o).second) {
+          d.RemoveTriple(t.s, t.pred, t.o).IgnoreError();
+        }
+      } else if (!types.empty()) {
+        NodeId e = d.AddEntity(
+            g.interner().Resolve(types[rng_.Below(types.size())]));
+        NodeId v = d.AddValue("wlv_" + std::to_string(counter_++));
+        d.AddTriple(e, "wl_attr", v).IgnoreError();
+      }
+    }
+    return d;
+  }
+
+ private:
+  DeltaGenConfig cfg_;
+  Rng rng_;
+  uint64_t counter_ = 0;
+};
+
+class HubHeavyDeltaGen : public DeltaGenerator {
+ public:
+  explicit HubHeavyDeltaGen(const DeltaGenConfig& config)
+      : cfg_(config), rng_(config.seed) {}
+
+  GraphDelta Next(const Graph& g) override {
+    GraphDelta d(g);
+    // Rank entities by total degree and target only the top slice, so
+    // every op lands inside the widest d-balls the graph has.
+    std::vector<NodeId> entities;
+    for (NodeId n = 0; n < g.NumNodes(); ++n) {
+      if (g.IsEntity(n)) entities.push_back(n);
+    }
+    if (entities.empty()) return d;
+    std::stable_sort(entities.begin(), entities.end(),
+                     [&](NodeId a, NodeId b) {
+                       size_t da = g.OutDegree(a) + g.InDegree(a);
+                       size_t db = g.OutDegree(b) + g.InDegree(b);
+                       return da != db ? da > db : a < b;
+                     });
+    size_t top = std::max<size_t>(
+        1, static_cast<size_t>(entities.size() * cfg_.hub_fraction));
+    std::set<std::tuple<NodeId, std::string, NodeId>> staged_removals;
+    for (size_t i = 0; i < cfg_.ops_per_batch; ++i) {
+      NodeId hub = entities[rng_.Below(top)];
+      auto in = g.In(hub);
+      auto out = g.Out(hub);
+      if (rng_.Chance(cfg_.remove_fraction) && (in.size() + out.size()) > 0) {
+        // Remove a random incident edge (in-edges store the source node
+        // in Edge::dst, and sources are always entities).
+        uint64_t pick = rng_.Below(in.size() + out.size());
+        NodeId s, o;
+        Symbol p;
+        if (pick < out.size()) {
+          s = hub;
+          p = out[pick].pred;
+          o = out[pick].dst;
+        } else {
+          s = in[pick - out.size()].dst;
+          p = in[pick - out.size()].pred;
+          o = hub;
+        }
+        std::string pred = g.interner().Resolve(p);
+        if (staged_removals.emplace(s, pred, o).second) {
+          d.RemoveTriple(s, pred, o).IgnoreError();
+        }
+      } else {
+        // Attach a fresh entity to the hub, reusing the predicate and
+        // spoke type its existing in-edges use (so the new edge lands in
+        // the key alphabet whenever the hub is a key-reference target).
+        std::string pred = "wl_spoke";
+        std::string type = "wl_sat";
+        if (!in.empty()) {
+          const Edge& sample = in[rng_.Below(in.size())];
+          pred = g.interner().Resolve(sample.pred);
+          type = g.interner().Resolve(g.entity_type(sample.dst));
+        }
+        NodeId e = d.AddEntity(type);
+        d.AddTriple(e, pred, hub).IgnoreError();
+      }
+    }
+    return d;
+  }
+
+ private:
+  DeltaGenConfig cfg_;
+  Rng rng_;
+};
+
+class ChurnDeltaGen : public DeltaGenerator {
+ public:
+  explicit ChurnDeltaGen(const DeltaGenConfig& config) : cfg_(config) {}
+
+  GraphDelta Next(const Graph& g) override {
+    GraphDelta d(g);
+    if (!pending_readd_.empty()) {
+      // Re-add verbatim what the previous batch removed: the region's
+      // derivations retract and re-derive, repeatedly.
+      for (const PickedTriple& t : pending_readd_) {
+        d.AddTriple(t.s, t.pred, t.o).IgnoreError();
+      }
+      region_ = std::move(pending_readd_);
+      pending_readd_.clear();
+      ++cycles_done_;
+      return d;
+    }
+    if (cycles_done_ >= cfg_.churn_repeats || region_.empty()) {
+      region_ = NextRegion(g);
+      cycles_done_ = 0;
+    }
+    for (const PickedTriple& t : region_) {
+      d.RemoveTriple(t.s, t.pred, t.o).IgnoreError();
+    }
+    pending_readd_ = std::move(region_);
+    region_.clear();
+    return d;
+  }
+
+ private:
+  /// The out-triples (capped at ops_per_batch) of the next entity that
+  /// has any, scanning round-robin from where the last region ended.
+  std::vector<PickedTriple> NextRegion(const Graph& g) {
+    std::vector<PickedTriple> out;
+    size_t n = g.NumNodes();
+    for (size_t step = 0; step < n; ++step) {
+      NodeId e = static_cast<NodeId>((cursor_ + step) % n);
+      if (!g.IsEntity(e) || g.OutDegree(e) == 0) continue;
+      for (const Edge& edge : g.Out(e)) {
+        out.push_back({e, g.interner().Resolve(edge.pred), edge.dst});
+        if (out.size() >= cfg_.ops_per_batch) break;
+      }
+      cursor_ = (e + 1) % n;
+      return out;
+    }
+    return out;
+  }
+
+  DeltaGenConfig cfg_;
+  std::vector<PickedTriple> region_;
+  std::vector<PickedTriple> pending_readd_;
+  int cycles_done_ = 0;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DeltaGenerator>> MakeDeltaGenerator(
+    std::string_view kind, const DeltaGenConfig& config) {
+  if (kind == "uniform") {
+    return std::unique_ptr<DeltaGenerator>(new UniformDeltaGen(config));
+  }
+  if (kind == "hub") {
+    return std::unique_ptr<DeltaGenerator>(new HubHeavyDeltaGen(config));
+  }
+  if (kind == "churn") {
+    return std::unique_ptr<DeltaGenerator>(new ChurnDeltaGen(config));
+  }
+  return Status::InvalidArgument("unknown delta generator kind '" +
+                                 std::string(kind) +
+                                 "' (expected uniform, hub, or churn)");
+}
+
+}  // namespace gkeys

@@ -235,6 +235,107 @@ TEST_F(CliTest, IngestEmptyDeltaIsNoOp) {
       << recover.text;
 }
 
+// ---- Pipelined stdin ingest: '---'-separated batches, hostile inputs ----
+
+TEST_F(CliTest, PipelineStdinStreamsBatches) {
+  std::string dir = FreshDir("ddir_pipe");
+  ASSERT_EQ(RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir).exit_code,
+            0);
+  std::string input = TempFile(
+      "pipe_two.triples",
+      std::string(kCompanyDelta) + "---\n" +
+          "+ ent:company:c7 name_of val:\"SBC\"\n"
+          "+ ent:company:c0 parent_of ent:company:c7\n");
+  RunOutput out =
+      RunCli("ingest " + dir + " - --pipeline < " + input);
+  ASSERT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("ingested 2 batches"), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("wal_records=2"), std::string::npos) << out.text;
+
+  RunOutput recover = RunCli("recover " + dir + " --quiet");
+  ASSERT_EQ(recover.exit_code, 0) << recover.text;
+  EXPECT_NE(recover.text.find("batches_replayed=2"), std::string::npos)
+      << recover.text;
+}
+
+TEST_F(CliTest, PipelineEmptyBatchBetweenSeparatorsIsNoOpCommit) {
+  std::string dir = FreshDir("ddir_pipe_mid");
+  ASSERT_EQ(RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir).exit_code,
+            0);
+  // Two consecutive separators: the middle batch is empty. It must flow
+  // through as a no-op commit — counted, not WAL-appended, not an error.
+  std::string input = TempFile(
+      "pipe_mid.triples",
+      std::string(kCompanyDelta) + "---\n" + "---\n" +
+          "+ ent:company:c7 name_of val:\"SBC\"\n");
+  RunOutput out = RunCli("ingest " + dir + " - --pipeline < " + input);
+  ASSERT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("ingested 3 batches"), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("1 empty"), std::string::npos) << out.text;
+  EXPECT_NE(out.text.find("wal_records=2"), std::string::npos) << out.text;
+
+  RunOutput recover = RunCli("recover " + dir + " --quiet");
+  ASSERT_EQ(recover.exit_code, 0) << recover.text;
+  EXPECT_NE(recover.text.find("batches_replayed=2"), std::string::npos)
+      << recover.text;
+  EXPECT_EQ(LastPairs(recover.text), 4) << recover.text;
+}
+
+TEST_F(CliTest, PipelineTrailingSeparatorIsNoOpCommit) {
+  std::string dir = FreshDir("ddir_pipe_trail");
+  ASSERT_EQ(RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir).exit_code,
+            0);
+  // A trailing '---' means "an empty batch follows": it must not be
+  // silently dropped, and must not create a WAL record either.
+  std::string input =
+      TempFile("pipe_trail.triples", std::string(kCompanyDelta) + "---\n");
+  RunOutput out = RunCli("ingest " + dir + " - --pipeline < " + input);
+  ASSERT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("ingested 2 batches"), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("1 empty"), std::string::npos) << out.text;
+  EXPECT_NE(out.text.find("wal_records=1"), std::string::npos) << out.text;
+  EXPECT_EQ(LastPairs(out.text), 4) << out.text;
+}
+
+TEST_F(CliTest, PipelineCommentOnlyBatchIsNoOpCommit) {
+  std::string dir = FreshDir("ddir_pipe_comment");
+  ASSERT_EQ(RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir).exit_code,
+            0);
+  std::string input = TempFile(
+      "pipe_comment.triples",
+      std::string(kCompanyDelta) + "---\n" + "# just a comment\n\n");
+  RunOutput out = RunCli("ingest " + dir + " - --pipeline < " + input);
+  ASSERT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("ingested 2 batches"), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("1 empty"), std::string::npos) << out.text;
+  EXPECT_NE(out.text.find("wal_records=1"), std::string::npos) << out.text;
+}
+
+TEST_F(CliTest, PipelineOnlySeparatorInputIsAllNoOps) {
+  std::string dir = FreshDir("ddir_pipe_onlysep");
+  ASSERT_EQ(RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir).exit_code,
+            0);
+  // "---" alone delimits two empty batches; the run commits nothing and
+  // leaves the WAL untouched.
+  std::string input = TempFile("pipe_onlysep.triples", "---\n");
+  RunOutput out = RunCli("ingest " + dir + " - --pipeline < " + input);
+  ASSERT_EQ(out.exit_code, 0) << out.text;
+  EXPECT_NE(out.text.find("ingested 2 batches"), std::string::npos)
+      << out.text;
+  EXPECT_NE(out.text.find("2 empty"), std::string::npos) << out.text;
+  EXPECT_NE(out.text.find("wal_records=0"), std::string::npos) << out.text;
+
+  RunOutput recover = RunCli("recover " + dir + " --quiet");
+  ASSERT_EQ(recover.exit_code, 0) << recover.text;
+  EXPECT_NE(recover.text.find("batches_replayed=0"), std::string::npos)
+      << recover.text;
+  EXPECT_EQ(LastPairs(recover.text), 2) << recover.text;
+}
+
 TEST_F(CliTest, RecoverTruncatesTornWalTail) {
   std::string dir = FreshDir("ddir_torn");
   RunOutput save = RunCli("save " + graph_ + " " + keys_ + " --dir=" + dir);

@@ -1,0 +1,205 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef GKEYS_WORKLOADS_DIR
+#error "workload_test needs GKEYS_WORKLOADS_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace gkeys {
+namespace {
+
+std::string SpecPath(const std::string& file) {
+  return std::string(GKEYS_WORKLOADS_DIR) + "/" + file;
+}
+
+/// Timings (`_s` suffix) and the parallel engines' effort counters
+/// (iso_checks / messages vary with worker interleaving) are the only
+/// fields the harness does not promise bit-for-bit.
+bool IsNoisyField(const std::string& field) {
+  if (field.size() >= 2 && field.compare(field.size() - 2, 2, "_s") == 0) {
+    return true;
+  }
+  return field == "iso_checks" || field == "messages";
+}
+
+/// Rows with the noisy fields dropped: everything left must be
+/// reproducible bit-for-bit across reruns of the same spec.
+JsonRows StripTimings(const JsonRows& rows) {
+  JsonRows out;
+  for (const auto& [name, fields] : rows) {
+    std::vector<std::pair<std::string, double>> kept;
+    for (const auto& f : fields) {
+      if (!IsNoisyField(f.first)) kept.push_back(f);
+    }
+    out.emplace_back(name, std::move(kept));
+  }
+  return out;
+}
+
+TEST(WorkloadSpec, MinimalSpecGetsDefaults) {
+  auto spec = ParseWorkloadSpec(
+      R"({"name": "t", "dataset": {"generator": "neardup"}})");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  EXPECT_EQ(spec->name, "t");
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_EQ(spec->repetitions, 1);
+  EXPECT_EQ(spec->algorithms.size(), 6u);  // "all"
+  EXPECT_TRUE(spec->oracle);
+  EXPECT_EQ(spec->rematch_mode, RematchOptions::Mode::kAuto);
+  EXPECT_TRUE(spec->delta_kind.empty());
+  EXPECT_EQ(spec->delta_batches, 0);
+}
+
+TEST(WorkloadSpec, ReadsAllFields) {
+  auto spec = ParseWorkloadSpec(R"({
+    "name": "full",
+    "seed": 7,
+    "repetitions": 2,
+    "processors": 3,
+    "algorithms": ["EMOptMR", "NaiveChase"],
+    "rematch_mode": "seed",
+    "oracle": false,
+    "dataset": {"generator": "powerlaw", "scale": 2.0, "num_hubs": 5},
+    "deltas": {"kind": "churn", "batches": 3, "ops_per_batch": 4,
+               "churn_repeats": 1, "seed": 99}
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_EQ(spec->repetitions, 2);
+  EXPECT_EQ(spec->processors, 3);
+  ASSERT_EQ(spec->algorithms.size(), 2u);
+  EXPECT_EQ(spec->algorithms[0], Algorithm::kEmOptMr);
+  EXPECT_EQ(spec->algorithms[1], Algorithm::kNaiveChase);
+  EXPECT_EQ(spec->rematch_mode, RematchOptions::Mode::kForceSeed);
+  EXPECT_FALSE(spec->oracle);
+  EXPECT_EQ(spec->generator, "powerlaw");
+  EXPECT_DOUBLE_EQ(spec->scale, 2.0);
+  EXPECT_EQ(spec->delta_kind, "churn");
+  EXPECT_EQ(spec->delta_batches, 3);
+  EXPECT_EQ(spec->delta_config.ops_per_batch, 4u);
+  EXPECT_EQ(spec->delta_config.churn_repeats, 1);
+  EXPECT_EQ(spec->delta_config.seed, 99u);
+}
+
+TEST(WorkloadSpec, DeltaSeedDefaultsToSpecSeedPlusOne) {
+  auto spec = ParseWorkloadSpec(
+      R"({"name": "t", "seed": 10,
+          "dataset": {"generator": "neardup"},
+          "deltas": {"kind": "uniform"}})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->delta_config.seed, 11u);
+}
+
+TEST(WorkloadSpec, RejectsSchemaViolations) {
+  const char* bad[] = {
+      R"({"dataset": {"generator": "neardup"}})",               // no name
+      R"({"name": "t"})",                                       // no dataset
+      R"({"name": "t", "dataset": {"generator": "nope"}})",     // generator
+      R"({"name": "t", "dataset": {"generator": "neardup"},
+          "algorithms": ["Bogus"]})",                           // algorithm
+      R"({"name": "t", "dataset": {"generator": "neardup"},
+          "algorithms": []})",                                  // empty list
+      R"({"name": "t", "dataset": {"generator": "neardup"},
+          "rematch_mode": "sometimes"})",                       // mode
+      R"({"name": "t", "dataset": {"generator": "neardup"},
+          "deltas": {"kind": "sideways"}})",                    // delta kind
+      R"({"name": "t" "dataset")",                              // bad JSON
+  };
+  for (const char* text : bad) {
+    auto spec = ParseWorkloadSpec(text);
+    EXPECT_FALSE(spec.ok()) << text;
+    if (!spec.ok()) {
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(WorkloadRun, CommittedSpecRerunsBitIdentically) {
+  auto spec = LoadWorkloadSpec(SpecPath("hostile_neardup_uniform.json"));
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  auto a = RunWorkload(*spec);
+  auto b = RunWorkload(*spec);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  EXPECT_FALSE(a->rows.empty());
+  // Same spec, same seed: every row and every non-noisy field must match
+  // bit for bit. (Timings and the parallel engines' effort counters are
+  // the only nondeterminism the harness emits.)
+  EXPECT_EQ(StripTimings(a->rows), StripTimings(b->rows));
+  EXPECT_EQ(a->final_pairs, b->final_pairs);
+  EXPECT_EQ(a->oracle_checks, b->oracle_checks);
+}
+
+TEST(WorkloadRun, RowNamesFollowTheConvention) {
+  auto spec = ParseWorkloadSpec(
+      R"({"name": "conv", "algorithms": ["NaiveChase", "EMOptMR"],
+          "dataset": {"generator": "neardup", "num_clusters": 4},
+          "deltas": {"kind": "uniform", "batches": 2}})");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  auto r = RunWorkload(*spec);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  // 2 full rows + 2 algorithms * 2 batches delta rows.
+  ASSERT_EQ(r->rows.size(), 6u);
+  EXPECT_EQ(r->rows[0].first, "conv/NaiveChase/rep0");
+  EXPECT_EQ(r->rows[1].first, "conv/EMOptMR/rep0");
+  EXPECT_EQ(r->rows[2].first, "conv/NaiveChase/rep0/delta0");
+  EXPECT_EQ(r->rows[3].first, "conv/EMOptMR/rep0/delta0");
+  EXPECT_EQ(r->rows[5].first, "conv/EMOptMR/rep0/delta1");
+  EXPECT_GT(r->oracle_checks, 0u);
+}
+
+TEST(WorkloadRun, OracleCanBeDisabled) {
+  auto spec = ParseWorkloadSpec(
+      R"({"name": "noor", "algorithms": ["EMMR"],
+          "dataset": {"generator": "neardup", "num_clusters": 3}})");
+  ASSERT_TRUE(spec.ok());
+  WorkloadRunOptions opts;
+  opts.disable_oracle = true;
+  auto r = RunWorkload(*spec, opts);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  EXPECT_EQ(r->oracle_checks, 0u);
+}
+
+TEST(WorkloadRun, RepetitionsEmitOneRowSetEach) {
+  auto spec = ParseWorkloadSpec(
+      R"({"name": "reps", "repetitions": 2, "algorithms": ["EMOptVC"],
+          "dataset": {"generator": "skew", "num_items": 20}})");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  auto r = RunWorkload(*spec);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0].first, "reps/EMOptVC/rep0");
+  EXPECT_EQ(r->rows[1].first, "reps/EMOptVC/rep1");
+  // Reps share the seed: identical non-timing fields.
+  EXPECT_EQ(StripTimings({r->rows[0]}).front().second,
+            StripTimings({r->rows[1]}).front().second);
+}
+
+/// Every committed spec must pass its own differential oracle across all
+/// listed algorithms, including the removal/churn delta batches — this is
+/// the acceptance bar for shipping a spec in workloads/.
+TEST(WorkloadRun, AllCommittedSpecsPassTheOracle) {
+  const char* specs[] = {
+      "hostile_powerlaw_churn.json", "hostile_skew_hub.json",
+      "hostile_neardup_uniform.json", "paper_google_uniform.json",
+      "paper_dbpedia_hub.json",
+  };
+  for (const char* file : specs) {
+    auto spec = LoadWorkloadSpec(SpecPath(file));
+    ASSERT_TRUE(spec.ok()) << file << ": " << spec.status().message();
+    EXPECT_TRUE(spec->oracle) << file << " must ship with the oracle on";
+    EXPECT_EQ(spec->algorithms.size(), 6u) << file;
+    auto r = RunWorkload(*spec);
+    ASSERT_TRUE(r.ok()) << file << ": " << r.status().message();
+    EXPECT_GT(r->oracle_checks, 0u) << file;
+    EXPECT_GT(r->rows.size(), 6u) << file << " should exercise deltas";
+  }
+}
+
+}  // namespace
+}  // namespace gkeys

@@ -513,10 +513,16 @@ StatusOr<std::string> ReadAllStdin() {
 /// Splits --pipeline input into batches on `---` separator lines (CRLF
 /// tolerated, like the delta format itself). Batches keep their own
 /// line endings; separator lines are consumed. No separator = one batch.
+/// Every separator delimits a batch on BOTH sides: `a\n---\n` is two
+/// batches (the second empty), and `---` alone is two empty batches —
+/// empty and comment-only batches flow through the pipeline as no-op
+/// commits (counted in IngestStats::empty_batches, skipped by the WAL)
+/// rather than being silently dropped here.
 std::vector<std::string> SplitDeltaBatches(std::string_view text) {
   std::vector<std::string> out;
   std::string cur;
   size_t pos = 0;
+  bool ended_with_separator = false;
   while (pos < text.size()) {
     size_t nl = text.find('\n', pos);
     std::string_view line = text.substr(
@@ -527,12 +533,16 @@ std::vector<std::string> SplitDeltaBatches(std::string_view text) {
     if (trimmed == "---") {
       out.push_back(std::move(cur));
       cur.clear();
+      ended_with_separator = true;
     } else {
       cur.append(text.substr(pos, line_end - pos));
+      ended_with_separator = false;
     }
     pos = line_end;
   }
-  if (!cur.empty() || out.empty()) out.push_back(std::move(cur));
+  if (!cur.empty() || ended_with_separator || out.empty()) {
+    out.push_back(std::move(cur));
+  }
   return out;
 }
 

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench/workload JSON rows.
+
+Compares a freshly produced JSON artifact (``gkeys_workload run --json=…``
+or any ``BENCH_*.json``) against a committed baseline. Rows are matched by
+``name``. Two classes of field, told apart by suffix:
+
+* Timing fields (name ends in ``_s``): gated by ratio — the current value
+  may be at most ``--tolerance`` times the baseline. Values below the
+  ``--min-abs`` floor (seconds) always pass: micro-timings on shared CI
+  runners are noise, and we only want to catch order-of-magnitude
+  regressions, not scheduler jitter.
+* Effort counters (``iso_checks``, ``messages``): also ratio-gated, with
+  a ``--min-count`` floor. The parallel engines' message/check totals
+  depend on worker interleaving (which worker's merge lands first decides
+  how much sibling work gets short-circuited), so they are reproducible
+  in magnitude but not bit-for-bit.
+* Everything else (pair counts, candidate counts, rounds, retractions, …):
+  exact match. These are deterministic outputs of a seeded run; any drift
+  is a correctness bug or an unacknowledged behaviour change, so the gate
+  treats a mismatch as a hard failure, never a tolerance question.
+
+A baseline row missing from the current artifact fails the gate (a
+silently dropped scenario is itself a regression); rows only present in
+the current artifact are reported but do not fail (new scenarios need a
+baseline update, which the failure message of a later run will demand).
+
+Exit codes: 0 gate passed, 1 regression found, 2 usage/IO error.
+
+``--self-test`` runs a hermetic fixture through the gate, including an
+injected artificial slowdown that MUST fail — proving the gate can
+actually reject, not just accept. CI runs this next to the real gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+EFFORT_FIELDS = frozenset({"iso_checks", "messages"})
+
+
+def is_timing(field):
+    return field.endswith("_s")
+
+
+def load_rows(path):
+    with open(path) as fh:
+        rows = json.load(fh)
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of row objects")
+    table = {}
+    for row in rows:
+        if not isinstance(row, dict) or "name" not in row:
+            raise ValueError(f"{path}: bad row {row!r}")
+        name = row["name"]
+        # Repeated names (e.g. benchmark repetitions) are disambiguated by
+        # occurrence index so reruns still line up pairwise.
+        key = name
+        n = 1
+        while key in table:
+            key = f"{name}#{n}"
+            n += 1
+        table[key] = {k: v for k, v in row.items() if k != "name"}
+    return table
+
+
+def compare(baseline, current, tolerance, min_abs, min_count=100):
+    """Returns (failures, notes) — lists of human-readable lines."""
+    failures, notes = [], []
+    for name, base_fields in baseline.items():
+        if name not in current:
+            failures.append(f"{name}: row missing from current artifact")
+            continue
+        cur_fields = current[name]
+        for field, base_val in base_fields.items():
+            if field not in cur_fields:
+                failures.append(f"{name}: field {field} missing")
+                continue
+            cur_val = cur_fields[field]
+            noisy = is_timing(field) or field in EFFORT_FIELDS
+            if noisy:
+                floor = min_abs if is_timing(field) else min_count
+                unit = "s" if is_timing(field) else ""
+                if cur_val <= floor:
+                    continue  # below the noise floor, never gate
+                if base_val <= 0:
+                    notes.append(f"{name}.{field}: no usable baseline "
+                                 f"({base_val}), skipped")
+                    continue
+                ratio = cur_val / base_val
+                if ratio > tolerance:
+                    failures.append(
+                        f"{name}.{field}: {cur_val:.6f}{unit} vs baseline "
+                        f"{base_val:.6f}{unit} "
+                        f"({ratio:.2f}x > {tolerance:.2f}x)")
+                elif ratio < 1 / tolerance:
+                    notes.append(f"{name}.{field}: {ratio:.2f}x improvement "
+                                 f"— consider refreshing the baseline")
+            else:
+                if cur_val != base_val:
+                    failures.append(
+                        f"{name}.{field}: exact field changed "
+                        f"({base_val!r} -> {cur_val!r})")
+    for name in current:
+        if name not in baseline:
+            notes.append(f"{name}: new row, not in baseline")
+    return failures, notes
+
+
+def run_gate(args):
+    try:
+        baseline = load_rows(args.baseline)
+        current = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"perf_gate: {e}", file=sys.stderr)
+        return 2
+    failures, notes = compare(baseline, current, args.tolerance, args.min_abs,
+                              args.min_count)
+    for line in notes:
+        print(f"note: {line}")
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures:
+        print(f"perf_gate: {len(failures)} regression(s) vs {args.baseline}")
+        return 1
+    print(f"perf_gate: ok ({len(baseline)} baseline rows checked)")
+    return 0
+
+
+def self_test():
+    base = {
+        "spec/EMOptMR/rep0": {"pairs": 24.0, "run_s": 0.200, "rounds": 3.0,
+                              "iso_checks": 5000.0},
+        "spec/EMOptMR/rep0/delta0": {"pairs": 25.0, "run_s": 0.010,
+                                     "seeded": 1.0, "messages": 48.0},
+    }
+
+    def check(label, current, tolerance, min_abs, want_fail):
+        failures, _ = compare(base, current, tolerance, min_abs)
+        ok = bool(failures) == want_fail
+        print(f"{'ok' if ok else 'SELF-TEST FAIL'}: {label}"
+              + (f" ({failures})" if not ok else ""))
+        return ok
+
+    import copy
+    identical = copy.deepcopy(base)
+
+    slow = copy.deepcopy(base)
+    slow["spec/EMOptMR/rep0"]["run_s"] = 0.200 * 10  # injected 10x slowdown
+
+    jitter = copy.deepcopy(base)
+    jitter["spec/EMOptMR/rep0/delta0"]["run_s"] = 0.040  # 4x but under floor
+
+    within = copy.deepcopy(base)
+    within["spec/EMOptMR/rep0"]["run_s"] = 0.200 * 1.4  # inside 3x tolerance
+
+    drift = copy.deepcopy(base)
+    drift["spec/EMOptMR/rep0"]["pairs"] = 23.0  # exact field drifted
+
+    missing = copy.deepcopy(base)
+    del missing["spec/EMOptMR/rep0/delta0"]
+
+    effort_jitter = copy.deepcopy(base)
+    effort_jitter["spec/EMOptMR/rep0"]["iso_checks"] = 5500.0  # schedule noise
+    effort_jitter["spec/EMOptMR/rep0/delta0"]["messages"] = 90.0  # sub-floor
+
+    effort_blowup = copy.deepcopy(base)
+    effort_blowup["spec/EMOptMR/rep0"]["iso_checks"] = 5000.0 * 10
+
+    results = [
+        check("identical artifact passes", identical, 3.0, 0.05, False),
+        check("injected 10x slowdown fails", slow, 3.0, 0.05, True),
+        check("sub-floor jitter passes", jitter, 3.0, 0.05, False),
+        check("slowdown within tolerance passes", within, 3.0, 0.05, False),
+        check("exact-field drift fails", drift, 3.0, 0.05, True),
+        check("missing row fails", missing, 3.0, 0.05, True),
+        check("effort-counter jitter passes", effort_jitter, 3.0, 0.05, False),
+        check("effort-counter blow-up fails", effort_blowup, 3.0, 0.05, True),
+        check("floor 0 gates even tiny timings", jitter, 3.0, 0.0, True),
+    ]
+    if all(results):
+        print("perf_gate self-test: all cases behaved")
+        return 0
+    return 1
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--current", help="freshly produced JSON rows")
+    p.add_argument("--baseline", help="committed baseline JSON rows")
+    p.add_argument("--tolerance", type=float, default=3.0,
+                   help="max allowed current/baseline timing ratio")
+    p.add_argument("--min-abs", type=float, default=0.05,
+                   help="timings at or below this many seconds never gate")
+    p.add_argument("--min-count", type=float, default=100,
+                   help="effort counters at or below this never gate")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the hermetic fixture suite and exit")
+    args = p.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.current or not args.baseline:
+        p.error("--current and --baseline are required (or use --self-test)")
+    sys.exit(run_gate(args))
+
+
+if __name__ == "__main__":
+    main()
